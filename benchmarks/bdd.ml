@@ -1,0 +1,44 @@
+(* Bdd: binary decision diagrams with memoized negation (Fig. 10 row
+   `Bdd`, after Filliâtre).
+   Property: VariableOrder — on every path from a node to its children,
+   variable indices strictly increase. The memo cache carries the
+   invariant through a polymorphic refinement: each key (a BDD) maps to a
+   BDD whose root variable is no smaller (§6). *)
+
+type bdd = Z of int | O of int | N of int * bdd * bdd * int
+
+(* The hash-cons tag of a node. *)
+let tag b =
+  match b with
+  | Z u -> u
+  | O u -> u
+  | N (x, l, r, u) -> u
+
+(* Allocates a node, collapsing the redundant case. *)
+let mk next x l r =
+  if tag l = tag r then (next, l)
+  else (next + 1, N (x, l, r, next))
+
+(* Memoized negation over the cache. *)
+let rec mk_not cache next x =
+  if mem cache x then (cache, next, get cache x)
+  else
+    match x with
+    | Z u -> let r = O 1 in (set cache x r, next, r)
+    | O u -> let r = Z 0 in (set cache x r, next, r)
+    | N (v, l, rr, u) ->
+      let (c1, n1, nl) = mk_not cache next l in
+      let (c2, n2, nr) = mk_not c1 n1 rr in
+      let (n3, nd) = mk n2 v nl nr in
+      (set c2 x nd, n3, nd)
+
+(* Restriction of a BDD by assigning the smallest variable. *)
+let rec restrict cache next x value =
+  if mem cache x then (cache, next, get cache x)
+  else
+    match x with
+    | Z u -> (cache, next, Z u)
+    | O u -> (cache, next, O u)
+    | N (v, l, rr, u) ->
+      let chosen = if value then rr else l in
+      (set cache x chosen, next, chosen)

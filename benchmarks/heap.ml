@@ -1,0 +1,39 @@
+(* Heap: a leftist heap (Fig. 10 row `Heap`, after Filliâtre).
+   Properties: Heap (heap order: every descendant is at least its
+   ancestor), Min (extractmin returns a lower bound of the remaining
+   heap), Set (merge/insert preserve the multiset of elements, stated
+   with the `helts` set measure). *)
+
+type 'a heap = E | T of int * 'a * 'a heap * 'a heap
+
+let rank h =
+  match h with
+  | E -> 0
+  | T (r, x, l, rr) -> r
+
+(* Rebuilds a node, keeping the shorter spine on the right. *)
+let maket x a b =
+  if rank a >= rank b then T (rank b + 1, x, a, b)
+  else T (rank a + 1, x, b, a)
+
+let rec merge h1 h2 =
+  match h1 with
+  | E -> h2
+  | T (r1, x, a1, b1) ->
+    (match h2 with
+     | E -> T (r1, x, a1, b1)
+     | T (r2, y, a2, b2) ->
+       if x <= y then maket x a1 (merge b1 (T (r2, y, a2, b2)))
+       else maket y a2 (merge (T (r1, x, a1, b1)) b2))
+
+let insert x h = merge (T (1, x, E, E)) h
+
+let findmin h =
+  match h with
+  | E -> diverge ()
+  | T (r, x, l, rr) -> x
+
+let extractmin h =
+  match h with
+  | E -> diverge ()
+  | T (r, x, l, rr) -> (x, merge l rr)

@@ -1,0 +1,68 @@
+(* List-sort: textbook list sorting routines (Fig. 10 row 1).
+   Properties: Sorted (output is an increasing list) and Elts (the output
+   has the same elements as the input). *)
+
+(* ---- insertion sort (Fig. 2 of the paper) ---- *)
+
+let rec insert x vs =
+  match vs with
+  | [] -> [x]
+  | y :: ys -> if x < y then x :: y :: ys else y :: insert x ys
+
+let rec insertsort xs =
+  match xs with
+  | [] -> []
+  | x :: rest -> insert x (insertsort rest)
+
+(* ---- merge sort ---- *)
+
+let rec halve xs =
+  match xs with
+  | [] -> ([], [])
+  | x :: rest ->
+    (match rest with
+     | [] -> ([x], [])
+     | y :: rest2 ->
+       let (a, b) = halve rest2 in
+       (x :: a, y :: b))
+
+let rec merge xs ys =
+  match xs with
+  | [] -> ys
+  | x :: xs2 ->
+    (match ys with
+     | [] -> x :: xs2
+     | y :: ys2 ->
+       if x < y then x :: merge xs2 (y :: ys2)
+       else y :: merge (x :: xs2) ys2)
+
+let rec mergesort xs =
+  match xs with
+  | [] -> []
+  | x1 :: rest ->
+    (match rest with
+     | [] -> [x1]
+     | x2 :: rest2 ->
+       let (a, b) = halve (x1 :: x2 :: rest2) in
+       merge (mergesort a) (mergesort b))
+
+(* ---- quick sort (with the witness-parameter append of §6.1) ---- *)
+
+let rec partition pivot xs =
+  match xs with
+  | [] -> ([], [])
+  | x :: rest ->
+    let (ls, gs) = partition pivot rest in
+    if x < pivot then (x :: ls, gs) else (ls, x :: gs)
+
+let rec append w ls gs =
+  match ls with
+  | [] -> w :: gs
+  | l :: rest -> l :: append w rest gs
+
+let rec quicksort xs =
+  match xs with
+  | [] -> []
+  | pivot :: rest ->
+    let (ls, gs) = partition pivot rest in
+    append pivot (quicksort ls) (quicksort gs)

@@ -1,0 +1,28 @@
+(* Malloc: the resource manager of Fig. 11 (Fig. 10 row `Malloc`).
+   Property: Alloc — the "world" (m, us, fs) keeps every address on the
+   used list marked 1 in the bitmap, every address on the free list
+   marked 0, and both lists duplicate-free (non-aliasing via int list≠). *)
+
+(* Removes an address from a duplicate-free list. *)
+let rec remove a xs =
+  match xs with
+  | [] -> []
+  | x :: rest -> if x = a then rest else x :: remove a rest
+
+(* Picks a free address, marks it used, moves it to the used list. *)
+let alloc w =
+  let (m, us, fs) = w in
+  match fs with
+  | [] -> diverge ()
+  | p :: fs2 ->
+    let m2 = set m p 1 in
+    ((m2, p :: us, fs2), p)
+
+(* Returns an address to the free list (the address must be in use). *)
+let free w a =
+  let (m, us, fs) = w in
+  if get m a = 1 then
+    let m2 = set m a 0 in
+    let us2 = remove a us in
+    (m2, us2, a :: fs)
+  else diverge ()

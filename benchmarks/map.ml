@@ -1,0 +1,68 @@
+(* Map: the OCaml standard library's AVL-style functional maps
+   (Fig. 10 row `Map`).
+   Properties: Balance (sibling heights differ by at most two, height
+   fields are exact), BST (binary search order on keys), Set (the key
+   set tracks insertions). *)
+
+type ('k, 'd) t = E | N of 'k * 'd * ('k, 'd) t * ('k, 'd) t * int
+
+let height t =
+  match t with
+  | E -> 0
+  | N (k, d, l, r, h) -> h
+
+(* Builds a node from subtrees already within the balance tolerance. *)
+let create k d l r =
+  let hl = height l in
+  let hr = height r in
+  if hl < hr then N (k, d, l, r, hr + 1) else N (k, d, l, r, hl + 1)
+
+(* Restores balance after one insertion (difference at most three). *)
+let bal k d l r =
+  let hl = height l in
+  let hr = height r in
+  if hl > hr + 2 then
+    (match l with
+     | E -> diverge ()
+     | N (lk, ld, ll, lr, lh) ->
+       if height ll >= height lr then create lk ld ll (create k d lr r)
+       else
+         (match lr with
+          | E -> diverge ()
+          | N (lrk, lrd, lrl, lrr, lrh) ->
+            create lrk lrd (create lk ld ll lrl) (create k d lrr r)))
+  else if hr > hl + 2 then
+    (match r with
+     | E -> diverge ()
+     | N (rk, rd, rl, rr, rh) ->
+       if height rr >= height rl then create rk rd (create k d l rl) rr
+       else
+         (match rl with
+          | E -> diverge ()
+          | N (rlk, rld, rll, rlr, rlh) ->
+            create rlk rld (create k d l rll) (create rk rd rlr rr)))
+  else create k d l r
+
+let rec add kx dx t =
+  match t with
+  | E -> N (kx, dx, E, E, 1)
+  | N (k, d, l, r, h) ->
+    if kx = k then N (kx, dx, l, r, h)
+    else if kx < k then bal k d (add kx dx l) r
+    else bal k d l (add kx dx r)
+
+let rec find kx t =
+  match t with
+  | E -> diverge ()
+  | N (k, d, l, r, h) ->
+    if kx = k then d
+    else if kx < k then find kx l
+    else find kx r
+
+let rec mem_key kx t =
+  match t with
+  | E -> false
+  | N (k, d, l, r, h) ->
+    if kx = k then true
+    else if kx < k then mem_key kx l
+    else mem_key kx r

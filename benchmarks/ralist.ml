@@ -1,0 +1,51 @@
+(* Ralist: random-access lists over complete binary trees (Fig. 10 row
+   `Ralist`, after Xi's DML examples / Okasaki).
+   Property: Len — cached sizes are exact, trees are complete, every
+   lookup stays in bounds, and cons grows the length by exactly one. *)
+
+type 'a tree = Leaf of 'a | Node of int * 'a * 'a tree * 'a tree
+type 'a rl = RNil | RCons of int * 'a tree * 'a rl
+
+let tsz t =
+  match t with
+  | Leaf x -> 1
+  | Node (n, x, l, r) -> n
+
+(* Reads index i of a complete tree (0 is the root, pre-order). *)
+let rec tree_lookup t i =
+  match t with
+  | Leaf x -> x
+  | Node (n, x, l, r) ->
+    if i = 0 then x
+    else if i <= tsz l then tree_lookup l (i - 1)
+    else tree_lookup r (i - 1 - tsz l)
+
+let rec rl_lookup xs i =
+  match xs with
+  | RNil -> diverge ()
+  | RCons (w, t, rest) ->
+    if i < w then tree_lookup t i
+    else rl_lookup rest (i - w)
+
+(* Prepends an element, merging equal-weight leading trees. *)
+let rl_cons x xs =
+  match xs with
+  | RNil -> RCons (1, Leaf x, RNil)
+  | RCons (w1, t1, rest1) ->
+    (match rest1 with
+     | RNil -> RCons (1, Leaf x, RCons (w1, t1, rest1))
+     | RCons (w2, t2, rest2) ->
+       if w1 = w2 then
+         RCons (1 + w1 + w2, Node (1 + w1 + w2, x, t1, t2), rest2)
+       else RCons (1, Leaf x, RCons (w1, t1, rest1)))
+
+let rl_head xs = rl_lookup xs 0
+
+let rl_tail xs =
+  match xs with
+  | RNil -> diverge ()
+  | RCons (w, t, rest) ->
+    (match t with
+     | Leaf x -> rest
+     | Node (n, x, l, r) ->
+       RCons (tsz l, l, RCons (tsz r, r, rest)))

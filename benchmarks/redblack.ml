@@ -1,0 +1,81 @@
+(* Redblack: red-black tree insertion (Fig. 10 row `Redblack`, after
+   Dunfield / Okasaki).
+   Properties: Color (no red node has a red child — the `ok` measure),
+   Balance (equal black heights — the `Bh` refinement), BST. *)
+
+type color = Rc | Bc
+type 'a rbt = L | T of color * 'a rbt * 'a * 'a rbt
+
+(* Rebalances a black node whose *left* subtree may have a root-level
+   red-red violation. *)
+let lbalance x a b =
+  match a with
+  | L -> T (Bc, a, x, b)
+  | T (ca, a1, y, a2) ->
+    (match ca with
+     | Bc -> T (Bc, a, x, b)
+     | Rc ->
+       (match a1 with
+        | T (c1, a11, z, a12) ->
+          (match c1 with
+           | Rc -> T (Rc, T (Bc, a11, z, a12), y, T (Bc, a2, x, b))
+           | Bc ->
+             (match a2 with
+              | T (c2, a21, w, a22) ->
+                (match c2 with
+                 | Rc -> T (Rc, T (Bc, a1, y, a21), w, T (Bc, a22, x, b))
+                 | Bc -> T (Bc, a, x, b))
+              | L -> T (Bc, a, x, b)))
+        | L ->
+          (match a2 with
+           | T (c2, a21, w, a22) ->
+             (match c2 with
+              | Rc -> T (Rc, T (Bc, a1, y, a21), w, T (Bc, a22, x, b))
+              | Bc -> T (Bc, a, x, b))
+           | L -> T (Bc, a, x, b))))
+
+(* Symmetric: the right subtree may have a root-level violation. *)
+let rbalance x a b =
+  match b with
+  | L -> T (Bc, a, x, b)
+  | T (cb, b1, y, b2) ->
+    (match cb with
+     | Bc -> T (Bc, a, x, b)
+     | Rc ->
+       (match b2 with
+        | T (c2, b21, z, b22) ->
+          (match c2 with
+           | Rc -> T (Rc, T (Bc, a, x, b1), y, T (Bc, b21, z, b22))
+           | Bc ->
+             (match b1 with
+              | T (c1, b11, w, b12) ->
+                (match c1 with
+                 | Rc -> T (Rc, T (Bc, a, x, b11), w, T (Bc, b12, y, b2))
+                 | Bc -> T (Bc, a, x, b))
+              | L -> T (Bc, a, x, b)))
+        | L ->
+          (match b1 with
+           | T (c1, b11, w, b12) ->
+             (match c1 with
+              | Rc -> T (Rc, T (Bc, a, x, b11), w, T (Bc, b12, y, b2))
+              | Bc -> T (Bc, a, x, b))
+           | L -> T (Bc, a, x, b))))
+
+let rec ins x t =
+  match t with
+  | L -> T (Rc, L, x, L)
+  | T (c, a, y, b) ->
+    if x < y then
+      (match c with
+       | Bc -> lbalance y (ins x a) b
+       | Rc -> T (Rc, ins x a, y, b))
+    else if y < x then
+      (match c with
+       | Bc -> rbalance y a (ins x b)
+       | Rc -> T (Rc, a, y, ins x b))
+    else T (c, a, y, b)
+
+let insert x t =
+  match ins x t with
+  | L -> diverge ()
+  | T (c, a, y, b) -> T (Bc, a, y, b)

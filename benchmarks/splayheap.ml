@@ -1,0 +1,49 @@
+(* Splayheap: Okasaki's splay-tree heap (Fig. 10 row `Splayheap`).
+   Properties: BST (binary search order), Min (extractmin returns a lower
+   bound of the rest), Set (partition/insert preserve elements). *)
+
+type 'a tree = E | T of 'a tree * 'a * 'a tree
+
+(* Splits a tree around a pivot: (elements <= pivot, elements > pivot),
+   both search-ordered, with the classic double rotations. *)
+let rec partition pivot t =
+  match t with
+  | E -> (E, E)
+  | T (a, x, b) ->
+    if x <= pivot then
+      (match b with
+       | E -> (T (a, x, E), E)
+       | T (b1, y, b2) ->
+         if y <= pivot then
+           let (small, big) = partition pivot b2 in
+           (T (T (a, x, b1), y, small), big)
+         else
+           let (small, big) = partition pivot b1 in
+           (T (a, x, small), T (big, y, b2)))
+    else
+      (match a with
+       | E -> (E, T (E, x, b))
+       | T (a1, y, a2) ->
+         if y <= pivot then
+           let (small, big) = partition pivot a2 in
+           (T (a1, y, small), T (big, x, b))
+         else
+           let (small, big) = partition pivot a1 in
+           (small, T (big, y, T (a2, x, b))))
+
+let insert x t =
+  let (a, b) = partition x t in
+  T (a, x, b)
+
+let rec extractmin t =
+  match t with
+  | E -> diverge ()
+  | T (a, x, b) ->
+    (match a with
+     | E -> (x, b)
+     | T (a1, y, a2) ->
+       let (m, rest) = extractmin (T (a1, y, a2)) in
+       (m, T (rest, x, b)))
+
+(* The Set property of insert, stated separately. *)
+let insert_keeps_elts x t = insert x t

@@ -1,0 +1,65 @@
+(* Stablesort: a tail-recursive merge sort in the style of the OCaml
+   standard library's List.sort (Fig. 10 row `Stablesort`).
+   Property: Sorted. The merges are tail-recursive and build *reversed*
+   (decreasing) accumulators which are reversed back — each phase needs a
+   witness parameter bounding the accumulator against the inputs (§6.1),
+   and the two reversal directions are separate functions (the code
+   duplication the paper reports). *)
+
+(* Pushes an increasing list onto a decreasing accumulator bounded by w. *)
+let rec rev_onto_up w zs acc =
+  match zs with
+  | [] -> acc
+  | z :: zs2 -> rev_onto_up z zs2 (z :: acc)
+
+(* Pushes a decreasing list onto an increasing accumulator bounded by w. *)
+let rec rev_onto_down w zs acc =
+  match zs with
+  | [] -> acc
+  | z :: zs2 -> rev_onto_down z zs2 (z :: acc)
+
+(* Tail-recursive merge of two increasing lists into a decreasing
+   accumulator; w bounds the accumulator from above and the inputs from
+   below. *)
+let rec rev_merge w xs ys acc =
+  match xs with
+  | [] -> rev_onto_up w ys acc
+  | x :: xs2 ->
+    (match ys with
+     | [] -> rev_onto_up w (x :: xs2) acc
+     | y :: ys2 ->
+       if x <= y then rev_merge x xs2 (y :: ys2) (x :: acc)
+       else rev_merge y (x :: xs2) ys2 (y :: acc))
+
+(* Splits a list into alternating halves. *)
+let rec halve xs =
+  match xs with
+  | [] -> ([], [])
+  | x :: rest ->
+    (match rest with
+     | [] -> ([x], [])
+     | y :: rest2 ->
+       let (a, b) = halve rest2 in
+       (x :: a, y :: b))
+
+let rec stablesort xs =
+  match xs with
+  | [] -> []
+  | x1 :: rest ->
+    (match rest with
+     | [] -> [x1]
+     | x2 :: rest2 ->
+       let (a, b) = halve (x1 :: x2 :: rest2) in
+       let sa = stablesort a in
+       let sb = stablesort b in
+       (match sa with
+        | [] -> sb
+        | a1 :: sa2 ->
+          (match sb with
+           | [] -> a1 :: sa2
+           | b1 :: sb2 ->
+             let w = if a1 <= b1 then a1 else b1 in
+             let down = rev_merge w (a1 :: sa2) (b1 :: sb2) [] in
+             (match down with
+              | [] -> []
+              | d1 :: d2 -> rev_onto_down d1 (d1 :: d2) []))))

@@ -1,0 +1,47 @@
+(* Subvsolve: graph-based bit-level type inference (Fig. 10 row
+   `Subvsolve`, after Jhala & Majumdar, FSE 2006).
+   Bit-level types are sequences of blocks; mask/shift operations split a
+   block into sub-blocks (its successors in a block graph), and value
+   flow makes distinct types share successor blocks. Fresh blocks always
+   receive identifiers larger than their parents', so the block graph is
+   acyclic — the same DAG shape as (3) in §2.2. *)
+
+(* Splits block `b` of the graph: two fresh sub-blocks `n` and `n + 1`
+   are created and recorded as its successors; returns the new graph and
+   the bumped allocator. *)
+let split g n b =
+  let g1 = set g n [] in
+  let g2 = set g1 (n + 1) [] in
+  let succs = get g2 b in
+  let g3 = set g2 b (n :: (n + 1) :: succs) in
+  (g3, n + 2)
+
+(* Value flow: block `b` additionally flows into the fresh block `n`
+   (sharing: several blocks may point at the same sub-block). *)
+let share g n b =
+  let g1 = set g n [] in
+  let succs = get g1 b in
+  let g2 = set g1 b (n :: succs) in
+  (g2, n + 1)
+
+(* Unifies the successor lists of two blocks created at the same level:
+   both point to a common fresh representative. *)
+let unify g n a b =
+  let g1 = set g n [] in
+  let sa = get g1 a in
+  let g2 = set g1 a (n :: sa) in
+  let sb = get g2 b in
+  let g3 = set g2 b (n :: sb) in
+  (g3, n + 1)
+
+(* Solves a worklist of `k` split requests over randomly chosen blocks —
+   the driver loop of the inference engine (compare Fig. 4's build_dag). *)
+let rec solve g n k =
+  if k <= 0 then (g, n)
+  else
+    let b = random 0 in
+    if b < 0 then (g, n)
+    else if b >= n then (g, n)
+    else
+      let (g2, n2) = split g n b in
+      solve g2 n2 (k - 1)

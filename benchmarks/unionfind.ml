@@ -1,0 +1,34 @@
+(* Union-find with path compression (Fig. 10 row `Unionfind`).
+   Property: Acyclic — each non-root's rank is strictly below its
+   parent's rank, so following parent links terminates (§5.2).
+
+   The rank map is a *witness parameter* to find (§6.1): it is not used
+   computationally there, but the acyclicity invariant of the parent map
+   refers to it. *)
+
+let rec find rank parent0 x =
+  let px = get parent0 x in
+  if px = x then (parent0, x)
+  else
+    let (parent1, px2) = find rank parent0 px in
+    let parent2 = set parent1 x px2 in
+    (parent2, px2)
+
+(* Links two elements' roots; when ranks tie, the surviving root's rank
+   is bumped, preserving the invariant. *)
+let union rank0 parent0 a b =
+  let (parent1, ra) = find rank0 parent0 a in
+  let (parent2, rb) = find rank0 parent1 b in
+  if ra = rb then (rank0, parent2)
+  else
+    let ka = get rank0 ra in
+    let kb = get rank0 rb in
+    if ka < kb then (rank0, set parent2 ra rb)
+    else if kb < ka then (rank0, set parent2 rb ra)
+    else
+      let rank1 = set rank0 ra (ka + 1) in
+      (rank1, set parent2 rb ra)
+
+(* A fresh singleton: its own parent, rank zero. *)
+let make_set rank0 parent0 x =
+  (set rank0 x 0, set parent0 x x)

@@ -1,0 +1,89 @@
+(* Vec: extensible functional vectors over balanced trees (Fig. 10 row
+   `Vec`, after de Alfaro).
+   Properties: Balance (subtree heights within two, height field exact),
+   Len1 (every get/set receives an index within bounds — expressed as
+   preconditions over the `vlen` measure), Len2 (the function passed to
+   the iterator is only applied to in-range indices). *)
+
+type 'a vec = Empty | Node of 'a vec * 'a * 'a vec * int * int
+
+let vheight v =
+  match v with
+  | Empty -> 0
+  | Node (l, x, r, h, n) -> h
+
+let length v =
+  match v with
+  | Empty -> 0
+  | Node (l, x, r, h, n) -> n
+
+(* Builds a node from subtrees within the balance tolerance. *)
+let vcreate l x r =
+  let hl = vheight l in
+  let hr = vheight r in
+  let h = if hl < hr then hr + 1 else hl + 1 in
+  Node (l, x, r, h, length l + length r + 1)
+
+(* Rebalances after one end-insertion (difference at most three). *)
+let vbal l x r =
+  let hl = vheight l in
+  let hr = vheight r in
+  if hl > hr + 2 then
+    (match l with
+     | Empty -> diverge ()
+     | Node (ll, lx, lr, lh, ln) ->
+       if vheight ll >= vheight lr then vcreate ll lx (vcreate lr x r)
+       else
+         (match lr with
+          | Empty -> diverge ()
+          | Node (lrl, lrx, lrr, lrh, lrn) ->
+            vcreate (vcreate ll lx lrl) lrx (vcreate lrr x r)))
+  else if hr > hl + 2 then
+    (match r with
+     | Empty -> diverge ()
+     | Node (rl, rx, rr, rh, rn) ->
+       if vheight rr >= vheight rl then vcreate (vcreate l x rl) rx rr
+       else
+         (match rl with
+          | Empty -> diverge ()
+          | Node (rll, rlx, rlr, rlh, rln) ->
+            vcreate (vcreate l x rll) rlx (vcreate rlr rx rr)))
+  else vcreate l x r
+
+(* Appends an element at the end. *)
+let rec append v x =
+  match v with
+  | Empty -> Node (Empty, x, Empty, 1, 1)
+  | Node (l, y, r, h, n) -> vbal l y (append r x)
+
+(* Reads index i (Len1: 0 <= i < length v). *)
+let rec get_elt v i =
+  match v with
+  | Empty -> diverge ()
+  | Node (l, x, r, h, n) ->
+    let nl = length l in
+    if i < nl then get_elt l i
+    else if i = nl then x
+    else get_elt r (i - nl - 1)
+
+(* Replaces index i (Len1). *)
+let rec set_elt v i x =
+  match v with
+  | Empty -> diverge ()
+  | Node (l, y, r, h, n) ->
+    let nl = length l in
+    if i < nl then Node (set_elt l i x, y, r, h, n)
+    else if i = nl then Node (l, x, r, h, n)
+    else Node (l, y, set_elt r (i - nl - 1) x, h, n)
+
+(* Iterates f over indices in order (Len2: f sees only valid indices). *)
+let rec iteri_from base v f =
+  match v with
+  | Empty -> ()
+  | Node (l, x, r, h, n) ->
+    let nl = length l in
+    iteri_from base l f;
+    f (base + nl) x;
+    iteri_from (base + nl + 1) r f
+
+let iteri v f = iteri_from 0 v f

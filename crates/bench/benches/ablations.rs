@@ -1,0 +1,100 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * SMT validity-query caching on/off;
+//! * eager array-axiom instantiation on/off (with axioms off, the
+//!   `Sel`/`Upd`-dependent benchmarks must *fail* — the axioms carry the
+//!   proof — so the timing ablation uses a benchmark that does not need
+//!   them);
+//! * qualifier-set size: verification time as inert qualifiers are
+//!   added (placeholder instantiation grows the initial assignments).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsolve_bench::load;
+use dsolve_liquid::SolveConfig;
+use dsolve_smt::SolverConfig;
+use std::time::Duration;
+
+fn config(cache: bool, array_axioms: bool) -> SolveConfig {
+    SolveConfig {
+        smt: SolverConfig {
+            cache,
+            array_axioms,
+            ..SolverConfig::default()
+        },
+        ..SolveConfig::default()
+    }
+}
+
+fn bench_smt_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/smt-cache");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(15));
+    for (label, cache) in [("on", true), ("off", false)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut job = load("malloc").unwrap();
+                job.config = config(cache, true);
+                let r = job.run().unwrap();
+                assert!(r.is_safe());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_array_axioms(c: &mut Criterion) {
+    // stablesort does not need the array axioms; measure their overhead.
+    let mut g = c.benchmark_group("ablation/array-axioms");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(15));
+    for (label, axioms) in [("on", true), ("off", false)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut job = load("stablesort").unwrap();
+                job.config = config(true, axioms);
+                let r = job.run().unwrap();
+                assert!(r.is_safe());
+            })
+        });
+    }
+    g.finish();
+
+    // And the correctness direction (not a timing): without the axioms,
+    // malloc's non-aliasing proof must fail.
+    let mut job = load("malloc").unwrap();
+    job.config = config(true, false);
+    let r = job.run().unwrap();
+    assert!(
+        !r.is_safe(),
+        "malloc must not verify without the read-over-write axioms"
+    );
+}
+
+fn bench_qualifier_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/qualifier-count");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(15));
+    for extra in [0usize, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(extra), &extra, |b, &extra| {
+            b.iter(|| {
+                let mut job = load("malloc").unwrap();
+                // Inert-but-instantiable qualifiers inflate Q*.
+                for i in 0..extra {
+                    job.quals
+                        .push_str(&format!("\nqualif Pad{i} : VV <= _ + {i}"));
+                }
+                let r = job.run().unwrap();
+                assert!(r.is_safe());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_smt_cache,
+    bench_array_axioms,
+    bench_qualifier_count
+);
+criterion_main!(benches);

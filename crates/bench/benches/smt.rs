@@ -1,0 +1,72 @@
+//! Microbenchmarks of the SMT substrate: the implication shapes the
+//! verifier generates most (arithmetic chains, congruence, array
+//! read-over-write, ACI set equalities).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsolve_logic::{parse_pred, FuncSort, Sort, SortEnv, Symbol};
+use dsolve_smt::SmtSolver;
+
+fn env() -> SortEnv {
+    let mut env = SortEnv::new();
+    for v in ["x", "y", "z", "i", "j", "k", "n", "w"] {
+        env.bind(Symbol::new(v), Sort::Int);
+    }
+    env.bind(Symbol::new("m"), Sort::Map);
+    env.bind(Symbol::new("xs"), Sort::Obj(Symbol::new("list")));
+    env.bind(Symbol::new("ys"), Sort::Obj(Symbol::new("list")));
+    env.declare_func(
+        Symbol::new("elts"),
+        FuncSort::new(vec![Sort::Obj(Symbol::new("list"))], Sort::Set),
+    );
+    env.declare_func(
+        Symbol::new("len"),
+        FuncSort::new(vec![Sort::Obj(Symbol::new("list"))], Sort::Int),
+    );
+    env
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let cases: &[(&str, &str, &str, bool)] = &[
+        ("arith-chain", "x < y && y < z && z < w", "x + 2 < w", true),
+        ("arith-invalid", "x <= y && y <= z", "x < z", false),
+        ("congruence", "x = y && len(xs) = x", "len(xs) = y", true),
+        (
+            "array-row",
+            "Sel(m, x) = 0 && x != k",
+            "Sel(Upd(m, k, 1), x) = 0",
+            true,
+        ),
+        (
+            "sets-aci",
+            "elts(xs) = union(single(x), elts(ys))",
+            "elts(xs) = union(elts(ys), single(x))",
+            true,
+        ),
+        (
+            "guards",
+            "(x < y => z = 1) && (not (x < y) => z = 2)",
+            "z = 1 || z = 2",
+            true,
+        ),
+    ];
+    let env = env();
+    let mut g = c.benchmark_group("smt");
+    for (name, lhs, rhs, expect) in cases {
+        let l = parse_pred(lhs).unwrap();
+        let r = parse_pred(rhs).unwrap();
+        g.bench_function(*name, |b| {
+            b.iter(|| {
+                // Fresh solver per iteration: measure the full query, not
+                // the cache.
+                let mut smt = SmtSolver::new();
+                let got = smt.is_valid(&env, &l, &r);
+                assert_eq!(got, *expect);
+                got
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Regenerates Figure 10 of the paper: one row per benchmark with LOC,
+//! manual annotations, verification time, properties, and status, plus
+//! the paper's numbers for comparison.
+//!
+//! ```text
+//! cargo run --release -p dsolve-bench --bin figure10 [names...]
+//! ```
+
+use dsolve::{Row, Table};
+use dsolve_bench::{run, BENCHMARKS};
+
+fn main() {
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let mut table = Table::new();
+    println!("Reproducing Fig. 10 (paper numbers in brackets)\n");
+    for b in BENCHMARKS {
+        if !filter.is_empty() && !filter.iter().any(|f| f == b.name) {
+            continue;
+        }
+        eprint!("verifying {:<12} ... ", b.name);
+        match run(b.name) {
+            Err(e) => {
+                eprintln!("front-end error: {e}");
+                table.push(Row {
+                    program: b.name.into(),
+                    loc: 0,
+                    annotations: 0,
+                    time: std::time::Duration::ZERO,
+                    properties: b.properties.into(),
+                    safe: false,
+                });
+            }
+            Ok(res) => {
+                eprintln!(
+                    "{} in {:.1}s [paper: {}s]",
+                    if res.is_safe() { "SAFE" } else { "UNSAFE" },
+                    res.time.as_secs_f64(),
+                    b.paper_time_s
+                );
+                if !res.is_safe() {
+                    for e in res.result.errors.iter().take(3) {
+                        eprintln!("    {e}");
+                    }
+                }
+                table.push(Row::from_result(
+                    format!(
+                        "{} [{} LOC, {} ann, {}s]",
+                        b.name, b.paper_loc, b.paper_annotations, b.paper_time_s
+                    ),
+                    b.properties,
+                    &res,
+                ));
+            }
+        }
+    }
+    println!("{table}");
+    if !table.all_safe() {
+        std::process::exit(1);
+    }
+}

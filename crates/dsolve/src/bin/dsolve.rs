@@ -1,0 +1,131 @@
+//! The `dsolve` command-line verifier.
+//!
+//! ```text
+//! dsolve <module.ml> [--quals <file>] [--mlq <file>] [--annot]
+//!        [--annot-out <file>] [--stats]
+//! ```
+//!
+//! `--annot-out` writes the inferred liquid types to a `.annot` file, as
+//! the original DSOLVE did.
+//!
+//! By default `<module>.quals` and `<module>.mlq` next to the module are
+//! used when present. Exit status: 0 = safe, 1 = verification errors,
+//! 2 = front-end errors or bad usage.
+
+use dsolve::{Job, JobError};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dsolve <module.ml> [--quals <file>] [--mlq <file>] [--annot] [--annot-out <file>] [--stats]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ml: Option<String> = None;
+    let mut quals: Option<String> = None;
+    let mut mlq: Option<String> = None;
+    let mut annot = false;
+    let mut annot_out: Option<String> = None;
+    let mut stats = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quals" => match it.next() {
+                Some(f) => quals = Some(f.clone()),
+                None => return usage(),
+            },
+            "--mlq" => match it.next() {
+                Some(f) => mlq = Some(f.clone()),
+                None => return usage(),
+            },
+            "--annot" => annot = true,
+            "--annot-out" => match it.next() {
+                Some(f) => annot_out = Some(f.clone()),
+                None => return usage(),
+            },
+            "--stats" => stats = true,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            f if !f.starts_with('-') && ml.is_none() => ml = Some(f.to_owned()),
+            _ => return usage(),
+        }
+    }
+    let Some(ml) = ml else { return usage() };
+
+    let mut job = match Job::from_path(&ml) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("dsolve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(q) = quals {
+        match std::fs::read_to_string(&q) {
+            Ok(s) => job.quals = s,
+            Err(e) => {
+                eprintln!("dsolve: cannot read `{q}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(s) = mlq {
+        match std::fs::read_to_string(&s) {
+            Ok(text) => job.mlq = text,
+            Err(e) => {
+                eprintln!("dsolve: cannot read `{s}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match job.run() {
+        Err(e @ (JobError::Frontend(_) | JobError::Spec(_) | JobError::Io(_))) => {
+            eprintln!("dsolve: {e}");
+            ExitCode::from(2)
+        }
+        Ok(res) => {
+            if annot || annot_out.is_some() {
+                let mut names: Vec<_> = res.result.inferred.iter().collect();
+                names.sort_by_key(|(n, _)| n.as_str());
+                let mut rendered = String::new();
+                for (name, scheme) in names {
+                    rendered.push_str(&format!("{name} :: {scheme}\n"));
+                }
+                if annot {
+                    print!("{rendered}");
+                }
+                if let Some(path) = &annot_out {
+                    if let Err(e) = std::fs::write(path, rendered) {
+                        eprintln!("dsolve: cannot write `{path}`: {e}");
+                    }
+                }
+            }
+            if stats {
+                eprintln!(
+                    "loc={} annotations={} constraints={} kvars={} smt_queries={} time={:.3}s",
+                    res.loc,
+                    res.annotations,
+                    res.result.num_constraints,
+                    res.result.stats.kvars,
+                    res.result.stats.smt_queries,
+                    res.time.as_secs_f64()
+                );
+            }
+            if res.is_safe() {
+                println!("{}: SAFE", job.name);
+                ExitCode::SUCCESS
+            } else {
+                println!("{}: UNSAFE", job.name);
+                for e in &res.result.errors {
+                    println!("  {e}");
+                }
+                ExitCode::from(1)
+            }
+        }
+    }
+}

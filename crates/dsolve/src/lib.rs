@@ -1,0 +1,30 @@
+//! # dsolve
+//!
+//! The DSOLVE driver (§6): verifies a NanoML module (`.ml`) against a
+//! property specification (`.mlq` — measures, named recursive
+//! refinements, `val` types) using a set of logical qualifiers
+//! (`.quals`), and reports Figure-10-style rows (LOC, annotations, time,
+//! properties).
+//!
+//! ```
+//! use dsolve::Job;
+//!
+//! let job = Job::from_sources(
+//!     "demo",
+//!     "let abs x = if x < 0 then 0 - x else x\nlet ok = assert (abs (0 - 3) >= 0)",
+//!     "",
+//!     "qualif NonNeg : 0 <= VV",
+//! );
+//! let result = job.run().unwrap();
+//! assert!(result.is_safe());
+//! ```
+
+#![warn(missing_docs)]
+
+mod driver;
+mod report;
+mod spec;
+
+pub use driver::{count_loc, Job, JobError, JobResult};
+pub use report::{Row, Table};
+pub use spec::{map_witness, parse_mlq, parse_quals, scrape_qualifiers, RhoDef, SpecError, SpecFile};

@@ -1,0 +1,119 @@
+//! Integration tests for the `dsolve` command-line binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_temp(dir: &std::path::Path, name: &str, contents: &str) {
+    let mut f = std::fs::File::create(dir.join(name)).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+}
+
+fn dsolve() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dsolve"))
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dsolve-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn safe_module_exits_zero() {
+    let dir = tempdir("safe");
+    write_temp(
+        &dir,
+        "m.ml",
+        "let abs x = if x < 0 then 0 - x else x\nlet ok = assert (abs (0 - 2) >= 0)\n",
+    );
+    write_temp(&dir, "m.quals", "qualif N : 0 <= VV\n");
+    let out = dsolve().arg(dir.join("m.ml")).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("SAFE"), "{stdout}");
+}
+
+#[test]
+fn unsafe_module_exits_one_with_line() {
+    let dir = tempdir("unsafe");
+    write_temp(
+        &dir,
+        "m.ml",
+        "let f x = assert (x > 0); x\nlet bad = f 0\n",
+    );
+    let out = dsolve().arg(dir.join("m.ml")).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("UNSAFE"), "{stdout}");
+    assert!(stdout.contains("line 1"), "{stdout}");
+}
+
+#[test]
+fn frontend_error_exits_two() {
+    let dir = tempdir("parse");
+    write_temp(&dir, "m.ml", "let x = ");
+    let out = dsolve().arg(dir.join("m.ml")).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn annot_prints_inferred_types() {
+    let dir = tempdir("annot");
+    write_temp(
+        &dir,
+        "m.ml",
+        "let rec range i j = if i > j then [] else i :: range (i + 1) j\n",
+    );
+    write_temp(&dir, "m.quals", "qualif U : _ <= VV\n");
+    let out = dsolve()
+        .arg(dir.join("m.ml"))
+        .arg("--annot")
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    // The inferred element bound of Fig. 1: i <= ν on the result list.
+    assert!(stdout.contains("range ::"), "{stdout}");
+    assert!(stdout.contains("i <= VV"), "{stdout}");
+}
+
+#[test]
+fn stats_go_to_stderr() {
+    let dir = tempdir("stats");
+    write_temp(&dir, "m.ml", "let one = 1\n");
+    let out = dsolve()
+        .arg(dir.join("m.ml"))
+        .arg("--stats")
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("constraints="), "{stderr}");
+}
+
+#[test]
+fn bad_usage_exits_two() {
+    let out = dsolve().arg("--quals").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn annot_out_writes_file() {
+    let dir = tempdir("annotout");
+    write_temp(
+        &dir,
+        "m.ml",
+        "let rec range i j = if i > j then [] else i :: range (i + 1) j\n",
+    );
+    write_temp(&dir, "m.quals", "qualif U : _ <= VV\n");
+    let out_path = dir.join("m.annot");
+    let out = dsolve()
+        .arg(dir.join("m.ml"))
+        .arg("--annot-out")
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let rendered = std::fs::read_to_string(&out_path).unwrap();
+    assert!(rendered.contains("range ::"), "{rendered}");
+}

@@ -1,0 +1,328 @@
+//! Measures: inductively defined, terminating functions usable in
+//! refinements (§4.1).
+//!
+//! A measure maps a recursive type to a logical value, defined by one
+//! case per constructor over the constructor's binders. Because measures
+//! are defined by structural induction they are total, so using them in
+//! refinements is sound. They are instantiated automatically:
+//!
+//! * at constructions ([L-SUM-M]): the built value's type is strengthened
+//!   with `m(ν) = ε_C(args)`;
+//! * at matches ([L-MATCH-M]): each arm's environment gains the guard
+//!   `m(scrutinee) = ε_C(binders)`.
+
+use dsolve_logic::{Expr, FuncSort, Pred, Sort, SortEnv, Subst, Symbol};
+use dsolve_nanoml::{DataEnv, MlType};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One measure definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Measure {
+    /// Measure name (becomes an uninterpreted function in the logic).
+    pub name: Symbol,
+    /// The datatype it is defined on.
+    pub datatype: Symbol,
+    /// Output sort.
+    pub sort: Sort,
+    /// Per-constructor cases: binders and the defining term.
+    pub cases: HashMap<Symbol, MeasureCase>,
+}
+
+/// A constructor case of a measure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MeasureCase {
+    /// Binders for the constructor fields (all fields, in order).
+    pub binders: Vec<Symbol>,
+    /// The defining term over the binders (may apply measures).
+    pub body: Expr,
+}
+
+/// An error in a measure definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MeasureError(pub String);
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "measure error: {}", self.0)
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
+/// All measures, indexed by datatype.
+#[derive(Clone, Debug, Default)]
+pub struct MeasureEnv {
+    by_datatype: HashMap<Symbol, Vec<Measure>>,
+}
+
+impl MeasureEnv {
+    /// Creates an empty environment.
+    pub fn new() -> MeasureEnv {
+        MeasureEnv::default()
+    }
+
+    /// Registers a measure after checking it is well-formed
+    /// ([WF-M]/[WF-MS] of Fig. 8): one case per constructor, with correct
+    /// binder arities and a well-sorted body.
+    pub fn add(&mut self, m: Measure, data: &DataEnv, sorts: &SortEnv) -> Result<(), MeasureError> {
+        let decl = data
+            .decl(m.datatype)
+            .ok_or_else(|| MeasureError(format!("unknown datatype `{}`", m.datatype)))?;
+        // Sort env with every measure visible (measures may be mutually
+        // recursive in the [WF-M] style: later measures see earlier ones
+        // plus themselves).
+        let mut scope = sorts.clone();
+        self.declare_sorts(&mut scope);
+        scope.declare_func(
+            m.name,
+            FuncSort::new(vec![Sort::Obj(m.datatype)], m.sort.clone()),
+        );
+        for (cix, cname) in decl.ctor_names.iter().enumerate() {
+            let case = m.cases.get(cname).ok_or_else(|| {
+                MeasureError(format!(
+                    "measure `{}` is missing a case for constructor `{cname}`",
+                    m.name
+                ))
+            })?;
+            let fields = &decl.ctor_fields[cix];
+            if case.binders.len() != fields.len() {
+                return Err(MeasureError(format!(
+                    "measure `{}` case `{cname}` binds {} variable(s), constructor has {}",
+                    m.name,
+                    case.binders.len(),
+                    fields.len()
+                )));
+            }
+            let mut cscope = scope.clone();
+            for (b, f) in case.binders.iter().zip(fields) {
+                cscope.bind(*b, sort_of_mltype(f));
+            }
+            let got = cscope.sort_of(&case.body).ok_or_else(|| {
+                MeasureError(format!(
+                    "measure `{}` case `{cname}` body `{}` is ill-sorted",
+                    m.name, case.body
+                ))
+            })?;
+            if !got.compatible(&m.sort) {
+                return Err(MeasureError(format!(
+                    "measure `{}` case `{cname}` has sort {got}, declared {}",
+                    m.name, m.sort
+                )));
+            }
+        }
+        for other in self.of_datatype(m.datatype) {
+            if other.name == m.name {
+                return Err(MeasureError(format!("duplicate measure `{}`", m.name)));
+            }
+        }
+        self.by_datatype.entry(m.datatype).or_default().push(m);
+        Ok(())
+    }
+
+    /// The measures defined on a datatype.
+    pub fn of_datatype(&self, datatype: Symbol) -> &[Measure] {
+        self.by_datatype
+            .get(&datatype)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Declares all measures as uninterpreted functions.
+    pub fn declare_sorts(&self, sorts: &mut SortEnv) {
+        for ms in self.by_datatype.values() {
+            for m in ms {
+                sorts.declare_func(
+                    m.name,
+                    FuncSort::new(vec![Sort::Obj(m.datatype)], m.sort.clone()),
+                );
+            }
+        }
+    }
+
+    /// The [L-SUM-M] strengthening: `∧_m m(ν) = ε_C(args)` for a
+    /// construction `C(args)` of the datatype.
+    pub fn ctor_refinement(&self, datatype: Symbol, ctor: Symbol, args: &[Expr]) -> Pred {
+        self.relate(datatype, ctor, Expr::nu(), args)
+    }
+
+    /// The [L-MATCH-M] guard: `∧_m m(scrut) = ε_C(binders)`.
+    pub fn match_guard(
+        &self,
+        datatype: Symbol,
+        ctor: Symbol,
+        scrut: Expr,
+        binders: &[Symbol],
+    ) -> Pred {
+        let args: Vec<Expr> = binders.iter().map(|b| Expr::Var(*b)).collect();
+        self.relate(datatype, ctor, scrut, &args)
+    }
+
+    fn relate(&self, datatype: Symbol, ctor: Symbol, subject: Expr, args: &[Expr]) -> Pred {
+        let mut conj = Vec::new();
+        for m in self.of_datatype(datatype) {
+            let Some(case) = m.cases.get(&ctor) else {
+                continue;
+            };
+            let mut theta = Subst::new();
+            for (b, a) in case.binders.iter().zip(args) {
+                theta = theta.then(*b, a.clone());
+            }
+            let rhs = theta.apply_expr(&case.body);
+            conj.push(Pred::eq(Expr::app(m.name, vec![subject.clone()]), rhs));
+        }
+        Pred::and(conj)
+    }
+}
+
+/// Embeds an ML type into a logical sort.
+///
+/// Type variables embed as `int`: NanoML's only primitive operations on
+/// abstract values are the polymorphic comparisons, and OCaml's
+/// polymorphic compare is a total order, which the integer order models
+/// soundly for the quantifier-free, arithmetic-free facts programs can
+/// state about them (the same choice DSOLVE makes to verify e.g.
+/// sortedness of `α list`).
+pub fn sort_of_mltype(t: &MlType) -> Sort {
+    match t {
+        MlType::Int => Sort::Int,
+        MlType::Bool => Sort::Bool,
+        MlType::Unit => Sort::Obj(Symbol::new("unit")),
+        MlType::Var(_) => Sort::Int,
+        MlType::Arrow(..) => Sort::Obj(Symbol::new("fun")),
+        MlType::Tuple(_) => Sort::Obj(Symbol::new("tuple")),
+        MlType::Data(n, _) if *n == Symbol::new("map") => Sort::Map,
+        MlType::Data(n, _) => Sort::Obj(*n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsolve_logic::parse_expr;
+
+    fn len_measure() -> Measure {
+        let mut cases = HashMap::new();
+        cases.insert(
+            Symbol::new("Nil"),
+            MeasureCase {
+                binders: vec![],
+                body: Expr::int(0),
+            },
+        );
+        cases.insert(
+            Symbol::new("Cons"),
+            MeasureCase {
+                binders: vec![Symbol::new("x"), Symbol::new("xs")],
+                body: parse_expr("1 + len(xs)").unwrap(),
+            },
+        );
+        Measure {
+            name: Symbol::new("len"),
+            datatype: Symbol::new("list"),
+            sort: Sort::Int,
+            cases,
+        }
+    }
+
+    fn elts_measure() -> Measure {
+        let mut cases = HashMap::new();
+        cases.insert(
+            Symbol::new("Nil"),
+            MeasureCase {
+                binders: vec![],
+                body: Expr::SetEmpty,
+            },
+        );
+        cases.insert(
+            Symbol::new("Cons"),
+            MeasureCase {
+                binders: vec![Symbol::new("x"), Symbol::new("xs")],
+                body: parse_expr("union(single(x), elts(xs))").unwrap(),
+            },
+        );
+        Measure {
+            name: Symbol::new("elts"),
+            datatype: Symbol::new("list"),
+            sort: Sort::Set,
+            cases,
+        }
+    }
+
+    #[test]
+    fn registers_len_and_elts() {
+        let data = DataEnv::with_builtins();
+        let mut env = MeasureEnv::new();
+        env.add(len_measure(), &data, &SortEnv::new()).unwrap();
+        env.add(elts_measure(), &data, &SortEnv::new()).unwrap();
+        assert_eq!(env.of_datatype(Symbol::new("list")).len(), 2);
+    }
+
+    #[test]
+    fn rejects_missing_case() {
+        let data = DataEnv::with_builtins();
+        let mut env = MeasureEnv::new();
+        let mut m = len_measure();
+        m.cases.remove(&Symbol::new("Nil"));
+        assert!(env.add(m, &data, &SortEnv::new()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let data = DataEnv::with_builtins();
+        let mut env = MeasureEnv::new();
+        let mut m = len_measure();
+        m.cases.get_mut(&Symbol::new("Cons")).unwrap().binders.pop();
+        assert!(env.add(m, &data, &SortEnv::new()).is_err());
+    }
+
+    #[test]
+    fn rejects_ill_sorted_body() {
+        let data = DataEnv::with_builtins();
+        let mut env = MeasureEnv::new();
+        let mut m = len_measure();
+        m.cases.get_mut(&Symbol::new("Nil")).unwrap().body = Expr::SetEmpty;
+        assert!(env.add(m, &data, &SortEnv::new()).is_err());
+    }
+
+    #[test]
+    fn ctor_refinement_builds_equalities() {
+        let data = DataEnv::with_builtins();
+        let mut env = MeasureEnv::new();
+        env.add(len_measure(), &data, &SortEnv::new()).unwrap();
+        let p = env.ctor_refinement(
+            Symbol::new("list"),
+            Symbol::new("Cons"),
+            &[Expr::var("h"), Expr::var("t")],
+        );
+        assert_eq!(p.to_string(), "(len(VV) = (1 + len(t)))");
+    }
+
+    #[test]
+    fn match_guard_uses_scrutinee() {
+        let data = DataEnv::with_builtins();
+        let mut env = MeasureEnv::new();
+        env.add(len_measure(), &data, &SortEnv::new()).unwrap();
+        let p = env.match_guard(
+            Symbol::new("list"),
+            Symbol::new("Nil"),
+            Expr::var("xs"),
+            &[],
+        );
+        assert_eq!(p.to_string(), "(len(xs) = 0)");
+    }
+
+    #[test]
+    fn sorts_of_mltypes() {
+        assert_eq!(sort_of_mltype(&MlType::Int), Sort::Int);
+        assert_eq!(sort_of_mltype(&MlType::Var(3)), Sort::Int);
+        assert_eq!(
+            sort_of_mltype(&MlType::map(MlType::Int, MlType::Int)),
+            Sort::Map
+        );
+        assert_eq!(
+            sort_of_mltype(&MlType::list(MlType::Int)),
+            Sort::Obj(Symbol::new("list"))
+        );
+    }
+}

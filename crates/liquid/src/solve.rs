@@ -1,0 +1,580 @@
+//! The liquid fixpoint solver: iterative weakening over qualifier
+//! instantiations [Rondon et al., PLDI 2008], with the SMT solver
+//! discharging each implication.
+//!
+//! Each liquid variable `κ` starts at the strongest conjunction of
+//! well-sorted instantiations of the qualifier set in its scope. Every
+//! constraint whose right side is `θ·κ` removes from `A(κ)` the
+//! qualifiers the left side fails to imply; the process is monotone and
+//! terminates. Constraints with concrete right sides are verified under
+//! the final assignment and produce the reported errors.
+
+use crate::constraint::{LiquidError, SubC};
+use crate::env::{GlobalEnv, KEnv};
+use crate::rtype::{KVar, RefAtom};
+use dsolve_logic::{instantiate_all, Pred, Qualifier, Symbol};
+use dsolve_smt::{SmtSolver, SolverConfig};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Statistics from a solver run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolveStats {
+    /// Number of liquid variables.
+    pub kvars: usize,
+    /// Total initial qualifier instantiations.
+    pub initial_quals: usize,
+    /// Implication queries sent to the SMT solver.
+    pub smt_queries: u64,
+    /// Fixpoint iterations (constraint re-checks).
+    pub iterations: u64,
+}
+
+/// The result of solving.
+pub struct Solution {
+    /// Final qualifier assignment per liquid variable.
+    pub assignment: HashMap<KVar, Vec<Pred>>,
+    /// Errors from concrete obligations that failed.
+    pub errors: Vec<LiquidError>,
+    /// Run statistics.
+    pub stats: SolveStats,
+}
+
+impl Solution {
+    /// The solved refinement of `κ` as a single predicate.
+    pub fn pred_of(&self, k: KVar) -> Pred {
+        Pred::and(self.assignment.get(&k).cloned().unwrap_or_default())
+    }
+}
+
+/// Solver configuration.
+#[derive(Clone, Debug)]
+pub struct SolveConfig {
+    /// SMT configuration.
+    pub smt: SolverConfig,
+    /// Hard cap on fixpoint iterations (defensive; never hit in
+    /// practice because weakening is monotone).
+    pub max_iterations: u64,
+}
+
+impl Default for SolveConfig {
+    fn default() -> SolveConfig {
+        SolveConfig {
+            smt: SolverConfig::default(),
+            max_iterations: 2_000_000,
+        }
+    }
+}
+
+/// Runs the iterative-weakening fixpoint.
+pub fn solve(
+    genv: &GlobalEnv,
+    kenv: &KEnv,
+    subs: &[SubC],
+    quals: &[Qualifier],
+    config: &SolveConfig,
+) -> Solution {
+    let mut smt = SmtSolver::with_config(config.smt);
+    let mut stats = SolveStats::default();
+    let progress = std::env::var_os("DSOLVE_PROGRESS").is_some();
+    if progress {
+        eprintln!("solve: {} constraints, {} kvars", subs.len(), kenv.len());
+    }
+
+    // Initial assignment: all well-sorted instantiations per κ scope.
+    let mut assignment: HashMap<KVar, Vec<Pred>> = HashMap::new();
+    for k in kenv.kvars() {
+        let info = kenv.info(k).expect("registered kvar");
+        let insts = instantiate_all(quals, &info.scope, &info.nu_sort);
+        stats.initial_quals += insts.len();
+        assignment.insert(k, insts);
+    }
+    stats.kvars = assignment.len();
+    if progress {
+        eprintln!("solve: initial quals = {}", stats.initial_quals);
+    }
+
+    // Dependency index: κ → constraints that *read* it.
+    let mut readers: HashMap<KVar, Vec<usize>> = HashMap::new();
+    for (i, c) in subs.iter().enumerate() {
+        for k in c.reads() {
+            readers.entry(k).or_default().push(i);
+        }
+    }
+
+    // Worklist: every constraint with a κ on the right.
+    let mut queue: VecDeque<usize> = subs
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !c.writes().is_empty())
+        .map(|(i, _)| i)
+        .collect();
+    let mut queued: HashSet<usize> = queue.iter().copied().collect();
+
+    while let Some(ci) = queue.pop_front() {
+        queued.remove(&ci);
+        stats.iterations += 1;
+        if progress && stats.iterations % 50 == 0 {
+            eprintln!(
+                "fixpoint: iter={} queue={} smt={} at [{}]",
+                stats.iterations,
+                queue.len(),
+                stats.smt_queries,
+                subs[ci].origin
+            );
+        }
+        if stats.iterations > config.max_iterations {
+            break;
+        }
+        let c = &subs[ci];
+        let lookup = |k: KVar| {
+            Pred::and(assignment.get(&k).cloned().unwrap_or_default())
+        };
+        let (mut sorts, antecedent) = c.env.embed(genv, &lookup);
+        bind_nu(&mut sorts, &c.nu_shape);
+        let lhs = filter_wellsorted(&sorts, c.lhs.concretize(&lookup));
+
+        // Check each κ atom on the right; collect survivors.
+        let mut weakened: Vec<(KVar, Vec<Pred>)> = Vec::new();
+        for (theta, atom) in &c.rhs.atoms {
+            let RefAtom::KVar(k) = atom else { continue };
+            let quals_k = assignment.get(k).cloned().unwrap_or_default();
+            if quals_k.is_empty() {
+                continue;
+            }
+            // Relevance pruning: during weakening, restrict the
+            // antecedent to conjuncts transitively sharing variables
+            // with the left side and the candidate qualifiers. Always
+            // sound (weakens the antecedent); dramatically shrinks the
+            // per-query formulas.
+            let rhs_preds: Vec<Pred> =
+                quals_k.iter().map(|q| theta.apply_pred(q)).collect();
+            let mut seeds: std::collections::BTreeSet<Symbol> = lhs.free_vars();
+            for p in &rhs_preds {
+                seeds.extend(p.free_vars());
+            }
+            let no_prune = std::env::var_os("DSOLVE_NO_PRUNE").is_some();
+            let pruned = if no_prune {
+                antecedent.clone()
+            } else {
+                prune_conjuncts(antecedent.clone(), &mut seeds)
+            };
+            let lhs_full = Pred::and(vec![pruned, lhs.clone()]);
+            // Pruning is a fast path, not a semantics: failures are
+            // retried against the full antecedent before a qualifier is
+            // dropped for good.
+            let lhs_unpruned = Pred::and(vec![antecedent.clone(), lhs.clone()]);
+            let lhs_conjuncts: std::collections::HashSet<Pred> =
+                lhs_full.clone().conjuncts().into_iter().collect();
+            // Partition the candidates: syntactic hits, ill-sorted
+            // transports, and the rest — checked in bisected groups
+            // (most candidates survive most checks, so testing the whole
+            // conjunction first usually costs a single query).
+            let mut kept = Vec::with_capacity(quals_k.len());
+            let mut to_check: Vec<(Pred, Pred)> = Vec::new();
+            for (q, rhs_q) in quals_k.into_iter().zip(rhs_preds) {
+                if lhs_conjuncts.contains(&rhs_q) {
+                    kept.push(q);
+                } else if sorts.wellsorted(&rhs_q) {
+                    to_check.push((q, rhs_q));
+                }
+            }
+            check_group(
+                &mut smt,
+                &sorts,
+                &lhs_full,
+                Some(&lhs_unpruned),
+                &to_check,
+                &mut kept,
+                &mut stats,
+            );
+            let prev_len = assignment.get(k).map_or(0, Vec::len);
+            if kept.len() < prev_len {
+                if std::env::var_os("DSOLVE_TRACE").is_some() {
+                    let removed: Vec<String> = assignment
+                        .get(k)
+                        .map(|qs| {
+                            qs.iter()
+                                .filter(|q| !kept.contains(q))
+                                .map(ToString::to_string)
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    let lhs_state: Vec<String> = c
+                        .lhs
+                        .kvars()
+                        .iter()
+                        .map(|lk| {
+                            format!(
+                                "{lk}={}",
+                                Pred::and(
+                                    assignment.get(lk).cloned().unwrap_or_default()
+                                )
+                            )
+                        })
+                        .collect();
+                    eprintln!(
+                        "weaken {k} at [{}]: drop {removed:?}\n    lhs: {lhs_full}\n    raw-lhs: {} raw-rhs: {}\n    lhs-assignment: {lhs_state:?}",
+                        c.origin, c.lhs, c.rhs
+                    );
+                }
+                weakened.push((*k, kept));
+            }
+        }
+        for (k, kept) in weakened {
+            assignment.insert(k, kept);
+            for &r in readers.get(&k).map(Vec::as_slice).unwrap_or(&[]) {
+                if !subs[r].writes().is_empty() && queued.insert(r) {
+                    queue.push_back(r);
+                }
+            }
+            // Also re-check this constraint's siblings writing k.
+            if queued.insert(ci) {
+                queue.push_back(ci);
+            }
+        }
+    }
+
+    // Final pass: concrete right-hand conjuncts.
+    let mut errors = Vec::new();
+    for c in subs {
+        let has_conc = c
+            .rhs
+            .atoms
+            .iter()
+            .any(|(_, a)| matches!(a, RefAtom::Conc(_)));
+        if !has_conc {
+            continue;
+        }
+        let lookup = |k: KVar| {
+            Pred::and(assignment.get(&k).cloned().unwrap_or_default())
+        };
+        let (mut sorts, antecedent) = c.env.embed(genv, &lookup);
+        bind_nu(&mut sorts, &c.nu_shape);
+        let lhs = filter_wellsorted(&sorts, c.lhs.concretize(&lookup));
+        let lhs_full = Pred::and(vec![antecedent, lhs]);
+        for (theta, atom) in &c.rhs.atoms {
+            let RefAtom::Conc(p) = atom else { continue };
+            let rhs = theta.apply_pred(p);
+            if !sorts.wellsorted(&rhs) {
+                errors.push(LiquidError {
+                    msg: format!("obligation `{rhs}` is ill-sorted"),
+                    origin: Some(c.origin.clone()),
+                });
+                continue;
+            }
+            stats.smt_queries += 1;
+            if !smt.is_valid(&sorts, &lhs_full, &rhs) {
+                let msg = if std::env::var_os("DSOLVE_DEBUG").is_some() {
+                    let ks: Vec<String> = c
+                        .lhs
+                        .kvars()
+                        .iter()
+                        .map(|lk| {
+                            format!(
+                                "{lk}={}",
+                                Pred::and(
+                                    assignment.get(lk).cloned().unwrap_or_default()
+                                )
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "cannot prove `{rhs}`\n    from: {lhs_full}\n    raw: {} | {ks:?}",
+                        c.lhs
+                    )
+                } else {
+                    format!("cannot prove `{rhs}`")
+                };
+                errors.push(LiquidError {
+                    msg,
+                    origin: Some(c.origin.clone()),
+                });
+            }
+        }
+    }
+
+    Solution {
+        assignment,
+        errors,
+        stats,
+    }
+}
+
+/// Checks a group of candidate qualifiers against one antecedent,
+/// bisecting on failure: valid groups cost one query regardless of size.
+/// Individual failures are retried against `full` (the unpruned
+/// antecedent) when provided.
+fn check_group(
+    smt: &mut SmtSolver,
+    sorts: &dsolve_logic::SortEnv,
+    lhs: &Pred,
+    full: Option<&Pred>,
+    group: &[(Pred, Pred)],
+    kept: &mut Vec<Pred>,
+    stats: &mut SolveStats,
+) {
+    match group {
+        [] => {}
+        [(q, rhs_q)] => {
+            stats.smt_queries += 1;
+            let mut ok = smt.is_valid(sorts, lhs, rhs_q);
+            if !ok && !retry_disabled() {
+                if let Some(full) = full {
+                    if full != lhs {
+                        stats.smt_queries += 1;
+                        ok = smt.is_valid(sorts, full, rhs_q);
+                    }
+                }
+            }
+            if ok {
+                kept.push(q.clone());
+            }
+        }
+        _ => {
+            let all = Pred::and(group.iter().map(|(_, r)| r.clone()).collect());
+            stats.smt_queries += 1;
+            if smt.is_valid(sorts, lhs, &all) {
+                kept.extend(group.iter().map(|(q, _)| q.clone()));
+            } else {
+                let mid = group.len() / 2;
+                check_group(smt, sorts, lhs, full, &group[..mid], kept, stats);
+                check_group(smt, sorts, lhs, full, &group[mid..], kept, stats);
+            }
+        }
+    }
+}
+
+/// Keeps the conjuncts transitively relevant to the seed variables
+/// (variable-free conjuncts such as `false` are always kept).
+fn prune_conjuncts(
+    p: Pred,
+    seeds: &mut std::collections::BTreeSet<Symbol>,
+) -> Pred {
+    let conjuncts = p.conjuncts();
+    if conjuncts.len() <= 12 {
+        return Pred::and(conjuncts);
+    }
+    let fvs: Vec<std::collections::BTreeSet<Symbol>> =
+        conjuncts.iter().map(Pred::free_vars).collect();
+    let mut keep = vec![false; conjuncts.len()];
+    // Variable-free conjuncts carry reachability information (`false`).
+    for (i, fv) in fvs.iter().enumerate() {
+        if fv.is_empty() {
+            keep[i] = true;
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (i, fv) in fvs.iter().enumerate() {
+            if keep[i] || fv.is_empty() {
+                continue;
+            }
+            if fv.iter().any(|v| seeds.contains(v)) {
+                keep[i] = true;
+                seeds.extend(fv.iter().copied());
+                changed = true;
+            }
+        }
+    }
+    Pred::and(
+        conjuncts
+            .into_iter()
+            .zip(keep)
+            .filter_map(|(c, k)| if k { Some(c) } else { None })
+            .collect(),
+    )
+}
+
+fn retry_disabled() -> bool {
+    std::env::var_os("DSOLVE_NO_RETRY").is_some()
+}
+
+fn bind_nu(sorts: &mut dsolve_logic::SortEnv, shape: &dsolve_nanoml::MlType) {
+    sorts.bind(
+        Symbol::value_var(),
+        crate::measure::sort_of_mltype(shape),
+    );
+}
+
+fn filter_wellsorted(sorts: &dsolve_logic::SortEnv, p: Pred) -> Pred {
+    Pred::and(
+        p.conjuncts()
+            .into_iter()
+            .filter(|c| sorts.wellsorted(c))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Origin;
+    use crate::env::{fresh_refinement, LiquidEnv};
+    use crate::measure::MeasureEnv;
+    use crate::rtype::{RType, Refinement};
+    use dsolve_logic::{parse_pred, Sort, SortEnv};
+    use dsolve_nanoml::{DataEnv, MlType};
+
+    fn genv() -> GlobalEnv {
+        GlobalEnv::new(DataEnv::with_builtins(), MeasureEnv::new())
+    }
+
+    fn quals() -> Vec<Qualifier> {
+        vec![
+            Qualifier::new("Pos", parse_pred("0 < VV").unwrap()),
+            Qualifier::new("UB", parse_pred("_ <= VV").unwrap()),
+        ]
+    }
+
+    #[test]
+    fn single_kvar_keeps_implied_qualifiers() {
+        let genv = genv();
+        let mut kenv = KEnv::new();
+        let mut scope = SortEnv::new();
+        scope.bind(Symbol::new("i"), Sort::Int);
+        let r = fresh_refinement(&mut kenv, scope, &MlType::Int);
+        let env = LiquidEnv::new().bind(Symbol::new("i"), RType::int());
+        // {ν = i + 1} with i ≥ 1 flows into κ.
+        let sub = SubC {
+            env: env.bind(
+                Symbol::new("i"),
+                RType::int_pred(parse_pred("1 <= VV").unwrap()),
+            ),
+            nu_shape: MlType::Int,
+            lhs: Refinement::pred(parse_pred("VV = i + 1").unwrap()),
+            rhs: r.clone(),
+            origin: Origin::Flow("test"),
+        };
+        let sol = solve(&genv, &kenv, &[sub], &quals(), &SolveConfig::default());
+        assert!(sol.errors.is_empty());
+        let k = r.kvars()[0];
+        let p = sol.pred_of(k).to_string();
+        // Both 0 < ν and i ≤ ν survive.
+        assert!(p.contains("(0 < VV)"), "{p}");
+        assert!(p.contains("(i <= VV)"), "{p}");
+    }
+
+    #[test]
+    fn unimplied_qualifiers_are_weakened_away() {
+        let genv = genv();
+        let mut kenv = KEnv::new();
+        let scope = SortEnv::new();
+        let r = fresh_refinement(&mut kenv, scope, &MlType::Int);
+        // ⊤ flows into κ: nothing survives.
+        let sub = SubC {
+            env: LiquidEnv::new(),
+            nu_shape: MlType::Int,
+            lhs: Refinement::top(),
+            rhs: r.clone(),
+            origin: Origin::Flow("test"),
+        };
+        let sol = solve(&genv, &kenv, &[sub], &quals(), &SolveConfig::default());
+        assert_eq!(sol.pred_of(r.kvars()[0]), Pred::True);
+    }
+
+    #[test]
+    fn chained_kvars_propagate() {
+        let genv = genv();
+        let mut kenv = KEnv::new();
+        let r1 = fresh_refinement(&mut kenv, SortEnv::new(), &MlType::Int);
+        let r2 = fresh_refinement(&mut kenv, SortEnv::new(), &MlType::Int);
+        // {0 < ν} <: κ1, κ1 <: κ2: both keep Pos.
+        let subs = vec![
+            SubC {
+                env: LiquidEnv::new(),
+                nu_shape: MlType::Int,
+                lhs: Refinement::pred(parse_pred("0 < VV && VV = 3").unwrap()),
+                rhs: r1.clone(),
+                origin: Origin::Flow("t"),
+            },
+            SubC {
+                env: LiquidEnv::new(),
+                nu_shape: MlType::Int,
+                lhs: r1.clone(),
+                rhs: r2.clone(),
+                origin: Origin::Flow("t"),
+            },
+        ];
+        let sol = solve(&genv, &kenv, &subs, &quals(), &SolveConfig::default());
+        assert_eq!(sol.pred_of(r2.kvars()[0]).to_string(), "(0 < VV)");
+    }
+
+    #[test]
+    fn weakening_is_transitive_through_cycles() {
+        // κ1 <: κ2 and κ2 <: κ1 with {0 < ν} into κ1 only via a
+        // weaker source {ν = 0} — everything must drain.
+        let genv = genv();
+        let mut kenv = KEnv::new();
+        let r1 = fresh_refinement(&mut kenv, SortEnv::new(), &MlType::Int);
+        let r2 = fresh_refinement(&mut kenv, SortEnv::new(), &MlType::Int);
+        let subs = vec![
+            SubC {
+                env: LiquidEnv::new(),
+                nu_shape: MlType::Int,
+                lhs: Refinement::pred(parse_pred("VV = 0").unwrap()),
+                rhs: r1.clone(),
+                origin: Origin::Flow("t"),
+            },
+            SubC {
+                env: LiquidEnv::new(),
+                nu_shape: MlType::Int,
+                lhs: r1.clone(),
+                rhs: r2.clone(),
+                origin: Origin::Flow("t"),
+            },
+            SubC {
+                env: LiquidEnv::new(),
+                nu_shape: MlType::Int,
+                lhs: r2.clone(),
+                rhs: r1.clone(),
+                origin: Origin::Flow("t"),
+            },
+        ];
+        let sol = solve(&genv, &kenv, &subs, &quals(), &SolveConfig::default());
+        // 0 < ν does not hold of ν = 0.
+        assert_eq!(sol.pred_of(r1.kvars()[0]), Pred::True);
+        assert_eq!(sol.pred_of(r2.kvars()[0]), Pred::True);
+    }
+
+    #[test]
+    fn concrete_obligations_reported() {
+        let genv = genv();
+        let kenv = KEnv::new();
+        let sub = SubC {
+            env: LiquidEnv::new(),
+            nu_shape: MlType::Int,
+            lhs: Refinement::pred(parse_pred("0 <= VV").unwrap()),
+            rhs: Refinement::pred(parse_pred("0 < VV").unwrap()),
+            origin: Origin::Assert { line: 42 },
+        };
+        let sol = solve(&genv, &kenv, &[sub], &quals(), &SolveConfig::default());
+        assert_eq!(sol.errors.len(), 1);
+        assert!(sol.errors[0].to_string().contains("line 42"));
+    }
+
+    #[test]
+    fn concrete_obligation_uses_solved_kvars() {
+        let genv = genv();
+        let mut kenv = KEnv::new();
+        let r = fresh_refinement(&mut kenv, SortEnv::new(), &MlType::Int);
+        let subs = vec![
+            SubC {
+                env: LiquidEnv::new(),
+                nu_shape: MlType::Int,
+                lhs: Refinement::pred(parse_pred("VV = 5").unwrap()),
+                rhs: r.clone(),
+                origin: Origin::Flow("t"),
+            },
+            SubC {
+                env: LiquidEnv::new(),
+                nu_shape: MlType::Int,
+                lhs: r.clone(),
+                rhs: Refinement::pred(parse_pred("0 < VV").unwrap()),
+                origin: Origin::Assert { line: 1 },
+            },
+        ];
+        let sol = solve(&genv, &kenv, &subs, &quals(), &SolveConfig::default());
+        assert!(sol.errors.is_empty(), "{:?}", sol.errors.first().map(|e| e.to_string()));
+    }
+}

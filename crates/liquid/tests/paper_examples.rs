@@ -1,0 +1,413 @@
+//! End-to-end verification of the paper's running examples (Figs. 1–4)
+//! and the §4/§5 mechanisms: recursive refinements (sortedness),
+//! measures (`len`/`elts`), and polymorphic refinements (memoization).
+
+use dsolve_liquid::{
+    up_field_name, verify_source, DataRType, Measure, MeasureCase, MeasureEnv, RScheme, RType,
+    RVarDecl, Refinement, Rho, Spec,
+};
+use dsolve_logic::{parse_expr, parse_pred, Expr, Qualifier, Sort, Subst, Symbol};
+use dsolve_nanoml::{DataEnv, MlType};
+use std::collections::{BTreeMap, HashMap};
+
+fn quals(qs: &[&str]) -> Vec<Qualifier> {
+    qs.iter()
+        .enumerate()
+        .map(|(i, q)| Qualifier::new(format!("Q{i}"), parse_pred(q).unwrap()))
+        .collect()
+}
+
+/// The sorted list type `α list≤` of §4.1: trivial top matrix, inner
+/// matrix at the tail binding every deeper head to be ≥ the enclosing
+/// head.
+fn sorted_list(elem: RType) -> RType {
+    let list = Symbol::new("list");
+    let cons = Symbol::new("Cons");
+    let mut m = Rho::top();
+    m.set(
+        1,
+        0,
+        Refinement::pred(
+            parse_pred(&format!("{} <= VV", up_field_name(list, cons, 0))).unwrap(),
+        ),
+    );
+    let mut inner = BTreeMap::new();
+    inner.insert((1, 1), m);
+    RType::Data(DataRType {
+        name: list,
+        targs: vec![elem],
+        rho: Rho::top(),
+        inner,
+        refinement: Refinement::top(),
+    })
+}
+
+fn tyvar(v: u32) -> RType {
+    RType::TyVar(v, Subst::new(), Refinement::top())
+}
+
+fn plain_list(elem: RType) -> RType {
+    RType::Data(DataRType {
+        name: Symbol::new("list"),
+        targs: vec![elem],
+        rho: Rho::top(),
+        inner: BTreeMap::new(),
+        refinement: Refinement::top(),
+    })
+}
+
+fn fun(x: &str, a: RType, b: RType) -> RType {
+    RType::Fun(Symbol::new(x), Box::new(a), Box::new(b))
+}
+
+fn len_measure() -> Measure {
+    let mut cases = HashMap::new();
+    cases.insert(
+        Symbol::new("Nil"),
+        MeasureCase {
+            binders: vec![],
+            body: Expr::int(0),
+        },
+    );
+    cases.insert(
+        Symbol::new("Cons"),
+        MeasureCase {
+            binders: vec![Symbol::new("x"), Symbol::new("xs")],
+            body: parse_expr("1 + len(xs)").unwrap(),
+        },
+    );
+    Measure {
+        name: Symbol::new("len"),
+        datatype: Symbol::new("list"),
+        sort: Sort::Int,
+        cases,
+    }
+}
+
+fn elts_measure() -> Measure {
+    let mut cases = HashMap::new();
+    cases.insert(
+        Symbol::new("Nil"),
+        MeasureCase {
+            binders: vec![],
+            body: Expr::SetEmpty,
+        },
+    );
+    cases.insert(
+        Symbol::new("Cons"),
+        MeasureCase {
+            binders: vec![Symbol::new("x"), Symbol::new("xs")],
+            body: parse_expr("union(single(x), elts(xs))").unwrap(),
+        },
+    );
+    Measure {
+        name: Symbol::new("elts"),
+        datatype: Symbol::new("list"),
+        sort: Sort::Set,
+        cases,
+    }
+}
+
+fn measures(ms: Vec<Measure>) -> MeasureEnv {
+    let data = DataEnv::with_builtins();
+    let mut env = MeasureEnv::new();
+    for m in ms {
+        env.add(m, &data, &dsolve_logic::SortEnv::new()).unwrap();
+    }
+    env
+}
+
+const INSERT_SORT: &str = r#"
+let rec insert x vs =
+  match vs with
+  | [] -> [x]
+  | y :: ys -> if x < y then x :: y :: ys else y :: insert x ys
+
+let rec insertsort xs =
+  match xs with
+  | [] -> []
+  | x :: rest -> insert x (insertsort rest)
+"#;
+
+/// Fig. 2 + §4: `insertsort` returns a *sorted* list, inferred from the
+/// single qualifier `★ ≤ ν`.
+#[test]
+fn insertion_sort_is_sorted() {
+    let spec = Spec {
+        name: Symbol::new("insertsort"),
+        scheme: RScheme {
+            vars: vec![RVarDecl {
+                var: 0,
+                witness: None,
+            }],
+            ty: fun("xs", plain_list(tyvar(0)), sorted_list(tyvar(0))),
+        },
+    };
+    let result = verify_source(
+        INSERT_SORT,
+        MeasureEnv::new(),
+        quals(&["_ <= VV"]),
+        vec![spec],
+    )
+    .unwrap();
+    assert!(
+        result.is_safe(),
+        "{:?}",
+        result.errors.iter().map(|e| e.to_string()).collect::<Vec<_>>()
+    );
+}
+
+/// The negative twin: a buggy insert (flipped comparison) is *not*
+/// accepted as sorting.
+#[test]
+fn buggy_insertion_sort_is_rejected() {
+    let buggy = INSERT_SORT.replace("if x < y", "if x > y");
+    let spec = Spec {
+        name: Symbol::new("insertsort"),
+        scheme: RScheme {
+            vars: vec![RVarDecl {
+                var: 0,
+                witness: None,
+            }],
+            ty: fun("xs", plain_list(tyvar(0)), sorted_list(tyvar(0))),
+        },
+    };
+    let result = verify_source(&buggy, MeasureEnv::new(), quals(&["_ <= VV"]), vec![spec])
+        .unwrap();
+    assert!(!result.is_safe(), "bug must be detected");
+}
+
+/// §2.1 structure refinements: `insertsort` preserves the set of
+/// elements, via the `elts` measure.
+#[test]
+fn insertion_sort_preserves_elements() {
+    let spec = Spec {
+        name: Symbol::new("insertsort"),
+        scheme: RScheme {
+            vars: vec![RVarDecl {
+                var: 0,
+                witness: None,
+            }],
+            ty: fun(
+                "xs",
+                plain_list(tyvar(0)),
+                RType::Data(DataRType {
+                    name: Symbol::new("list"),
+                    targs: vec![tyvar(0)],
+                    rho: Rho::top(),
+                    inner: BTreeMap::new(),
+                    refinement: Refinement::pred(
+                        parse_pred("elts(VV) = elts(xs)").unwrap(),
+                    ),
+                }),
+            ),
+        },
+    };
+    let result = verify_source(
+        INSERT_SORT,
+        measures(vec![elts_measure()]),
+        quals(&[
+            "elts(VV) = elts(_)",
+            "elts(VV) = union(single(_), elts(_))",
+        ]),
+        vec![spec],
+    )
+    .unwrap();
+    assert!(
+        result.is_safe(),
+        "{:?}",
+        result.errors.iter().map(|e| e.to_string()).collect::<Vec<_>>()
+    );
+}
+
+/// Fig. 3 / §2.2: the memoized fibonacci returns a value ≥ 1 and ≥ i−1;
+/// requires instantiating the map's polymorphic refinement.
+#[test]
+fn memo_fib_via_polymorphic_refinements() {
+    let src = r#"
+let fib i =
+  let rec f t0 n =
+    if mem t0 n then (t0, get t0 n)
+    else if n <= 2 then (t0, 1)
+    else
+      let (t1, r1) = f t0 (n - 1) in
+      let (t2, r2) = f t1 (n - 2) in
+      let r = r1 + r2 in
+      (set t2 n r, r)
+  in
+  let (tfin, r) = f (new 17) i in
+  r
+"#;
+    let spec = Spec {
+        name: Symbol::new("fib"),
+        scheme: RScheme {
+            vars: vec![],
+            ty: fun(
+                "i",
+                RType::int(),
+                RType::int_pred(parse_pred("1 <= VV && i - 1 <= VV").unwrap()),
+            ),
+        },
+    };
+    let result = verify_source(
+        src,
+        MeasureEnv::new(),
+        quals(&["1 <= VV", "_ - 1 <= VV"]),
+        vec![spec],
+    )
+    .unwrap();
+    assert!(
+        result.is_safe(),
+        "{:?}",
+        result.errors.iter().map(|e| e.to_string()).collect::<Vec<_>>()
+    );
+}
+
+/// The `len` measure gives output-length facts: append's result length is
+/// the sum of the inputs'.
+#[test]
+fn append_length() {
+    let src = r#"
+let rec append xs ys =
+  match xs with
+  | [] -> ys
+  | x :: rest -> x :: append rest ys
+"#;
+    let spec = Spec {
+        name: Symbol::new("append"),
+        scheme: RScheme {
+            vars: vec![RVarDecl {
+                var: 0,
+                witness: None,
+            }],
+            ty: fun(
+                "xs",
+                plain_list(tyvar(0)),
+                fun(
+                    "ys",
+                    plain_list(tyvar(0)),
+                    RType::Data(DataRType {
+                        name: Symbol::new("list"),
+                        targs: vec![tyvar(0)],
+                        rho: Rho::top(),
+                        inner: BTreeMap::new(),
+                        refinement: Refinement::pred(
+                            parse_pred("len(VV) = len(xs) + len(ys)").unwrap(),
+                        ),
+                    }),
+                ),
+            ),
+        },
+    };
+    let result = verify_source(
+        src,
+        measures(vec![len_measure()]),
+        quals(&["len(VV) = len(_) + len(_)"]),
+        vec![spec],
+    )
+    .unwrap();
+    assert!(
+        result.is_safe(),
+        "{:?}",
+        result.errors.iter().map(|e| e.to_string()).collect::<Vec<_>>()
+    );
+}
+
+/// Asserts with insufficient information are reported (with the line).
+/// Function inputs are only constrained by call sites, so the bad call
+/// `check 0` is what invalidates the assert.
+#[test]
+fn failing_assert_is_reported() {
+    let src = r#"
+let check x =
+  assert (x > 0); x
+let bad = check 0
+"#;
+    let result =
+        verify_source(src, MeasureEnv::new(), quals(&["0 < VV"]), vec![]).unwrap();
+    assert!(!result.is_safe());
+    let msg = result.errors[0].to_string();
+    assert!(msg.contains("line 3"), "{msg}");
+}
+
+/// The same function with only positive call sites verifies.
+#[test]
+fn passing_call_sites_verify() {
+    let src = r#"
+let check x =
+  assert (x > 0); x
+let ok = check 5
+let ok2 = check 12
+"#;
+    let result =
+        verify_source(src, MeasureEnv::new(), quals(&["0 < VV"]), vec![]).unwrap();
+    assert!(
+        result.is_safe(),
+        "{:?}",
+        result.errors.iter().map(|e| e.to_string()).collect::<Vec<_>>()
+    );
+}
+
+/// Path sensitivity: guards make asserts provable.
+#[test]
+fn guarded_assert_is_safe() {
+    let src = r#"
+let check x =
+  if x > 0 then (assert (x > 0); x) else 0
+"#;
+    let result =
+        verify_source(src, MeasureEnv::new(), quals(&["0 < VV"]), vec![]).unwrap();
+    assert!(
+        result.is_safe(),
+        "{:?}",
+        result.errors.iter().map(|e| e.to_string()).collect::<Vec<_>>()
+    );
+}
+
+/// The paper's `sortcheck` (§4.2): consuming a sorted list, the head-tail
+/// ordering assert verifies.
+#[test]
+fn sortcheck_on_sorted_input() {
+    let src = r#"
+let rec sortcheck xs =
+  match xs with
+  | [] -> ()
+  | x :: xs2 ->
+    (match xs2 with
+     | [] -> ()
+     | y :: rest -> assert (x <= y); sortcheck xs2)
+"#;
+    let spec_input_sorted = Spec {
+        name: Symbol::new("sortcheck"),
+        scheme: RScheme {
+            vars: vec![RVarDecl {
+                var: 0,
+                witness: None,
+            }],
+            ty: fun("xs", sorted_list(tyvar(0)), RType::unit()),
+        },
+    };
+    // The assert must verify when sortcheck is *only* called with sorted
+    // lists. We express this by checking the function against the sorted
+    // spec — the interesting work is the unfold threading x ≤ elements
+    // of xs2.
+    let result = verify_source(
+        src,
+        MeasureEnv::new(),
+        quals(&["_ <= VV"]),
+        vec![spec_input_sorted],
+    )
+    .unwrap();
+    // The spec direction (plain input <: sorted input) must FAIL —
+    // sortcheck of arbitrary lists isn't sorted-input...
+    // ...but what we really check: the assert inside is provable only
+    // under the sorted hypothesis, so with the inferred (template) input
+    // including the qualifier, verification succeeds or fails depending
+    // on call sites. With no call sites and a free template, the solver
+    // may keep the sorted qualifier on the input — so this must be safe.
+    assert!(
+        result.is_safe(),
+        "{:?}",
+        result.errors.iter().map(|e| e.to_string()).collect::<Vec<_>>()
+    );
+}

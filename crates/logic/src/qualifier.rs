@@ -1,0 +1,197 @@
+//! Logical qualifiers and their instantiation.
+//!
+//! A qualifier is a predicate over the value variable `ν`, program
+//! variables, and the placeholder `★` (§2 of the paper). The set `Q★`
+//! contains every placeholder-free predicate obtained by replacing each
+//! `★i` with an in-scope program variable of a compatible sort. Liquid
+//! types are then conjunctions of elements of `Q★`.
+
+use crate::{Pred, Sort, SortEnv, Symbol};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A named logical qualifier, possibly containing placeholders `★i`.
+///
+/// # Examples
+///
+/// ```
+/// use dsolve_logic::{Expr, Pred, Qualifier, Sort, SortEnv, Symbol};
+/// // The qualifier `★0 <= ν`.
+/// let q = Qualifier::new("Le", Pred::le(Expr::Var(Symbol::star(0)), Expr::nu()));
+/// let mut env = SortEnv::new();
+/// env.bind(Symbol::new("i"), Sort::Int);
+/// env.bind(Symbol::new("j"), Sort::Int);
+/// let insts = q.instantiate(&env, &Sort::Int);
+/// assert_eq!(insts.len(), 2); // i <= ν and j <= ν
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Qualifier {
+    /// Human-readable name (used in reports).
+    pub name: String,
+    /// The qualifier predicate over `ν`, program variables, and `★i`.
+    pub pred: Pred,
+}
+
+impl Qualifier {
+    /// Creates a qualifier.
+    pub fn new(name: impl Into<String>, pred: Pred) -> Qualifier {
+        Qualifier {
+            name: name.into(),
+            pred,
+        }
+    }
+
+    /// The placeholder symbols (`★i`) occurring in the qualifier.
+    pub fn stars(&self) -> Vec<Symbol> {
+        self.pred
+            .free_vars()
+            .into_iter()
+            .filter(|s| s.is_star())
+            .collect()
+    }
+
+    /// Expands this qualifier into its `Q★` instances for an environment.
+    ///
+    /// Each `★i` is replaced by every environment variable whose sort makes
+    /// the resulting predicate well-sorted with `ν` bound at `nu_sort`.
+    /// Qualifiers without placeholders yield themselves (if well-sorted).
+    /// Ill-sorted instantiations are dropped rather than reported: a
+    /// qualifier like `★ <= ν` simply has no instances at sort `bool`.
+    pub fn instantiate(&self, env: &SortEnv, nu_sort: &Sort) -> Vec<Pred> {
+        let stars = self.stars();
+        let mut scratch = env.clone();
+        scratch.bind(Symbol::value_var(), nu_sort.clone());
+
+        // Candidate replacements: program variables and binder names.
+        // ANF temporaries (`tmp%…`, `carg%…`, …) are excluded: they name
+        // intermediate values whose facts are already present through
+        // their defining equations, and admitting them multiplies `Q★`
+        // by the (large) number of temporaries in scope.
+        let candidates: Vec<Symbol> = env
+            .vars()
+            .map(|(s, _)| *s)
+            .filter(|s| {
+                if s.is_star() || *s == Symbol::value_var() {
+                    return false;
+                }
+                let name = s.as_str();
+                !(name.starts_with("tmp%")
+                    || name.starts_with("carg%")
+                    || name.starts_with("seq%")
+                    || name.starts_with("ite%")
+                    || name.starts_with("unused%")
+                    || name.starts_with("toplevel%"))
+            })
+            .collect();
+
+        let mut out = Vec::new();
+        let mut seen = BTreeSet::new();
+        self.enumerate(&stars, &candidates, &scratch, self.pred.clone(), &mut out, &mut seen);
+        out
+    }
+
+    fn enumerate(
+        &self,
+        stars: &[Symbol],
+        candidates: &[Symbol],
+        env: &SortEnv,
+        partial: Pred,
+        out: &mut Vec<Pred>,
+        seen: &mut BTreeSet<String>,
+    ) {
+        match stars.split_first() {
+            None => {
+                if env.wellsorted(&partial) && seen.insert(partial.to_string()) {
+                    out.push(partial);
+                }
+            }
+            Some((star, rest)) => {
+                for c in candidates {
+                    let next = partial.subst(*star, &crate::Expr::Var(*c));
+                    self.enumerate(rest, candidates, env, next, out, seen);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Qualifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qualif {}: {}", self.name, self.pred)
+    }
+}
+
+/// Expands a whole qualifier set `Q` into `Q★` for one environment/sort.
+pub fn instantiate_all(quals: &[Qualifier], env: &SortEnv, nu_sort: &Sort) -> Vec<Pred> {
+    let mut out = Vec::new();
+    let mut seen = BTreeSet::new();
+    for q in quals {
+        for p in q.instantiate(env, nu_sort) {
+            if seen.insert(p.to_string()) {
+                out.push(p);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Expr;
+
+    fn env() -> SortEnv {
+        let mut env = SortEnv::new();
+        env.bind(Symbol::new("i"), Sort::Int);
+        env.bind(Symbol::new("j"), Sort::Int);
+        env.bind(Symbol::new("flag"), Sort::Bool);
+        env
+    }
+
+    #[test]
+    fn no_star_qualifier_yields_itself() {
+        let q = Qualifier::new("Pos", Pred::lt(Expr::int(0), Expr::nu()));
+        let insts = q.instantiate(&env(), &Sort::Int);
+        assert_eq!(insts, vec![Pred::lt(Expr::int(0), Expr::nu())]);
+    }
+
+    #[test]
+    fn star_expands_over_int_vars_only() {
+        let q = Qualifier::new("Le", Pred::le(Expr::Var(Symbol::star(0)), Expr::nu()));
+        let insts = q.instantiate(&env(), &Sort::Int);
+        // flag : bool is not a valid instantiation.
+        assert_eq!(insts.len(), 2);
+        for p in &insts {
+            assert!(matches!(p, Pred::Atom(crate::Rel::Le, _, _)));
+        }
+    }
+
+    #[test]
+    fn ill_sorted_nu_yields_nothing() {
+        let q = Qualifier::new("Le", Pred::le(Expr::Var(Symbol::star(0)), Expr::nu()));
+        let insts = q.instantiate(&env(), &Sort::Bool);
+        assert!(insts.is_empty());
+    }
+
+    #[test]
+    fn two_stars_expand_pairwise() {
+        let q = Qualifier::new(
+            "Between",
+            Pred::and(vec![
+                Pred::le(Expr::Var(Symbol::star(0)), Expr::nu()),
+                Pred::le(Expr::nu(), Expr::Var(Symbol::star(1))),
+            ]),
+        );
+        let insts = q.instantiate(&env(), &Sort::Int);
+        // 2 choices for each star = 4 combinations.
+        assert_eq!(insts.len(), 4);
+    }
+
+    #[test]
+    fn instantiate_all_dedupes() {
+        let q1 = Qualifier::new("Pos", Pred::lt(Expr::int(0), Expr::nu()));
+        let q2 = Qualifier::new("PosDup", Pred::lt(Expr::int(0), Expr::nu()));
+        let all = instantiate_all(&[q1, q2], &env(), &Sort::Int);
+        assert_eq!(all.len(), 1);
+    }
+}

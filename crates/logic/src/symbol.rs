@@ -1,0 +1,159 @@
+//! Interned identifiers.
+//!
+//! Symbols are cheap-to-copy handles into a process-global string interner.
+//! The verifier creates enormous numbers of identical variable names
+//! (fresh unfoldings, pending substitutions, qualifier instantiations), so
+//! interning keeps comparisons and hashing `O(1)`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string identifier.
+///
+/// Two symbols are equal iff they were created from the same string, so
+/// equality and hashing are constant-time index operations.
+///
+/// # Examples
+///
+/// ```
+/// use dsolve_logic::Symbol;
+/// let a = Symbol::new("x");
+/// let b = Symbol::new("x");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "x");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name` and returns its symbol.
+    pub fn new(name: &str) -> Symbol {
+        let mut i = interner().lock().expect("symbol interner poisoned");
+        if let Some(&id) = i.map.get(name) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(i.strings.len()).expect("symbol table overflow");
+        // Interned strings live for the whole process; leaking gives us
+        // `&'static str` keys without unsafe code.
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        i.strings.push(leaked);
+        i.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Returns the interned string.
+    pub fn as_str(self) -> &'static str {
+        let i = interner().lock().expect("symbol interner poisoned");
+        i.strings[self.0 as usize]
+    }
+
+    /// Returns a fresh symbol guaranteed distinct from all previous symbols,
+    /// with a human-readable `prefix`.
+    ///
+    /// Fresh names use the reserved `%` character so they can never collide
+    /// with parsed program identifiers.
+    pub fn fresh(prefix: &str) -> Symbol {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        Symbol::new(&format!("{prefix}%{n}"))
+    }
+
+    /// The value variable `ν` that refinement predicates constrain.
+    pub fn value_var() -> Symbol {
+        Symbol::new("VV")
+    }
+
+    /// The `i`-th qualifier placeholder `★i`.
+    ///
+    /// Placeholder symbols are instantiated with in-scope program variables
+    /// when a qualifier set `Q` is expanded into `Q★`.
+    pub fn star(i: usize) -> Symbol {
+        Symbol::new(&format!("*{i}"))
+    }
+
+    /// Whether this symbol is a qualifier placeholder (`★i`).
+    pub fn is_star(self) -> bool {
+        self.as_str().starts_with('*')
+    }
+
+    /// Whether this symbol was produced by [`Symbol::fresh`].
+    pub fn is_fresh(self) -> bool {
+        self.as_str().contains('%')
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let a = Symbol::new("hello");
+        let b = Symbol::new("hello");
+        let c = Symbol::new("world");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "hello");
+        assert_eq!(c.as_str(), "world");
+    }
+
+    #[test]
+    fn fresh_symbols_are_distinct() {
+        let a = Symbol::fresh("x");
+        let b = Symbol::fresh("x");
+        assert_ne!(a, b);
+        assert!(a.is_fresh());
+        assert!(b.as_str().starts_with('x'));
+    }
+
+    #[test]
+    fn value_var_and_stars() {
+        assert_eq!(Symbol::value_var(), Symbol::new("VV"));
+        assert!(Symbol::star(0).is_star());
+        assert!(Symbol::star(3).is_star());
+        assert_ne!(Symbol::star(0), Symbol::star(1));
+        assert!(!Symbol::new("x").is_star());
+    }
+
+    #[test]
+    fn display_matches_str() {
+        let s = Symbol::new("nu");
+        assert_eq!(format!("{s}"), "nu");
+        assert_eq!(format!("{s:?}"), "nu");
+    }
+}

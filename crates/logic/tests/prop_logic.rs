@@ -1,0 +1,101 @@
+//! Property tests for the refinement logic: substitution algebra and
+//! printer/parser round-trips.
+
+use dsolve_logic::{parse_pred, Expr, Pred, Subst, Symbol};
+use proptest::prelude::*;
+
+fn arb_var() -> impl Strategy<Value = Symbol> {
+    prop_oneof![
+        Just(Symbol::new("x")),
+        Just(Symbol::new("y")),
+        Just(Symbol::new("z")),
+        Just(Symbol::value_var()),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_var().prop_map(Expr::Var),
+        (-20i64..20).prop_map(Expr::int),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::union(
+                Expr::single(a),
+                Expr::single(b)
+            )),
+        ]
+    })
+}
+
+fn arb_pred() -> impl Strategy<Value = Pred> {
+    let atom = prop_oneof![
+        (arb_expr(), arb_expr()).prop_map(|(a, b)| Pred::lt(a, b)),
+        (arb_expr(), arb_expr()).prop_map(|(a, b)| Pred::eq(a, b)),
+        (arb_expr(), arb_expr()).prop_map(|(a, b)| Pred::le(a, b)),
+        Just(Pred::True),
+        Just(Pred::False),
+    ];
+    atom.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Pred::And),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Pred::Or),
+            inner.clone().prop_map(|p| Pred::Not(Box::new(p))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Pred::Imp(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    /// Substituting a variable that does not occur is the identity.
+    #[test]
+    fn subst_absent_var_is_identity(p in arb_pred()) {
+        let fresh = Symbol::new("not_in_any_generated_pred");
+        prop_assert_eq!(p.subst(fresh, &Expr::int(7)), p);
+    }
+
+    /// After substituting `x := c` (a constant), `x` no longer occurs.
+    #[test]
+    fn subst_eliminates_variable(p in arb_pred()) {
+        let x = Symbol::new("x");
+        let q = p.subst(x, &Expr::int(3));
+        prop_assert!(!q.free_vars().contains(&x));
+    }
+
+    /// Sequential pending substitutions agree with nested eager ones.
+    #[test]
+    fn subst_sequencing(p in arb_pred()) {
+        let x = Symbol::new("x");
+        let y = Symbol::new("y");
+        let theta = Subst::new()
+            .then(x, Expr::var("y"))
+            .then(y, Expr::int(5));
+        let sequential = theta.apply_pred(&p);
+        let nested = p.subst(x, &Expr::var("y")).subst(y, &Expr::int(5));
+        prop_assert_eq!(sequential, nested);
+    }
+
+    /// Printing and parsing reach a fixpoint after one normalization
+    /// pass (the parser's smart constructors push negations into atoms,
+    /// so the first round-trip may rewrite; the second must not).
+    #[test]
+    fn display_parse_roundtrip(p in arb_pred()) {
+        let printed = p.to_string();
+        let once = parse_pred(&printed);
+        prop_assert!(once.is_ok(), "failed to reparse `{}`", printed);
+        let normal = once.unwrap().to_string();
+        let twice = parse_pred(&normal);
+        prop_assert!(twice.is_ok(), "failed to reparse normalized `{}`", normal);
+        prop_assert_eq!(twice.unwrap().to_string(), normal);
+    }
+
+    /// Free variables are preserved by double negation.
+    #[test]
+    fn not_not_preserves_free_vars(p in arb_pred()) {
+        let q = Pred::not(Pred::not(p.clone()));
+        prop_assert_eq!(q.free_vars(), p.free_vars());
+    }
+}

@@ -1,0 +1,57 @@
+//! # dsolve-nanoml
+//!
+//! The NanoML front end: the paper's core language (§3) extended with
+//! datatypes, constructors, and pattern matching (§4), in an OCaml-subset
+//! concrete syntax.
+//!
+//! The pipeline is: [`parse_program`] → [`DataEnv::add_program`] →
+//! [`resolve_program`] (constructor arities, match normalization) →
+//! [`infer_program`] (Hindley–Milner, producing the [`TExpr`] trees the
+//! liquid verifier consumes). A big-step [`Evaluator`] implements the
+//! dynamic semantics so verified programs can actually run.
+//!
+//! ## Example
+//!
+//! ```
+//! use dsolve_nanoml::{
+//!     builtin_env, infer_program, parse_program, resolve_program, DataEnv, Evaluator,
+//!     TypeEnv,
+//! };
+//!
+//! let src = "let rec range i j = if i > j then [] else i :: range (i + 1) j";
+//! let prog = parse_program(src).unwrap();
+//! let mut data = DataEnv::with_builtins();
+//! data.add_program(&prog.datatypes).unwrap();
+//! let prog = resolve_program(&prog, &data).unwrap();
+//!
+//! // Types:
+//! let typed = infer_program(&prog, &data, &TypeEnv::new()).unwrap();
+//! assert_eq!(
+//!     typed.lets[0].binds[0].scheme.ty.to_string(),
+//!     "(int -> (int -> (int) list))"
+//! );
+//!
+//! // And it runs:
+//! let env = Evaluator::new().eval_program(&prog, &builtin_env()).unwrap();
+//! assert!(env.contains_key(&dsolve_logic::Symbol::new("range")));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+mod eval;
+mod infer;
+mod parser;
+mod resolve;
+mod texpr;
+mod token;
+mod types;
+
+pub use ast::{Arm, CtorDecl, DataDecl, Expr, Pattern, PrimOp, Program, TopBind, TopLet, TypeExpr};
+pub use eval::{builtin_env, Env, EvalError, Evaluator, Native, Value};
+pub use infer::{infer_expr, infer_program, match_instantiation, TypeEnv, TypeError};
+pub use parser::{parse_expr_str, parse_program, parse_type_str, ParseError};
+pub use resolve::{resolve_expr, resolve_program, ResolveError};
+pub use texpr::{apply_types, TArm, TBind, TExpr, TExprKind, TProgram, TTopLet};
+pub use token::{lex, LexError, Spanned, Token};
+pub use types::{CtorSig, DataEnv, DataError, DeclSig, MlType, Scheme};

@@ -1,0 +1,179 @@
+//! Typed abstract syntax produced by inference.
+//!
+//! Every node carries its (zonked) ML type; variable occurrences record
+//! the instantiation of their scheme's quantified variables, which is what
+//! the liquid phase needs to build refinement templates at [L-INST] sites.
+
+use crate::ast::PrimOp;
+use crate::types::{MlType, Scheme};
+use dsolve_logic::Symbol;
+
+/// A typed expression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TExpr {
+    /// The expression's ML type.
+    pub ty: MlType,
+    /// The node.
+    pub kind: TExprKind,
+}
+
+/// Typed expression nodes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TExprKind {
+    /// Variable occurrence with the types instantiating its scheme's
+    /// quantified variables (in scheme order).
+    Var(Symbol, Vec<MlType>),
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Unit.
+    Unit,
+    /// Primitive operation.
+    Prim(PrimOp, Box<TExpr>, Box<TExpr>),
+    /// Negation.
+    Neg(Box<TExpr>),
+    /// Boolean not.
+    Not(Box<TExpr>),
+    /// Lambda.
+    Lam(Symbol, Box<TExpr>),
+    /// Application.
+    App(Box<TExpr>, Box<TExpr>),
+    /// Generalizing let; the scheme is the generalized type of the binder.
+    Let(Symbol, Scheme, Box<TExpr>, Box<TExpr>),
+    /// (Mutually) recursive let group.
+    LetRec(Vec<TBind>, Box<TExpr>),
+    /// Tuple destructuring let.
+    LetTuple(Vec<Symbol>, Box<TExpr>, Box<TExpr>),
+    /// Conditional.
+    If(Box<TExpr>, Box<TExpr>, Box<TExpr>),
+    /// Tuple construction.
+    Tuple(Vec<TExpr>),
+    /// Constructor application; the types instantiate the datatype's
+    /// parameters.
+    Ctor(Symbol, Vec<MlType>, Vec<TExpr>),
+    /// Pattern match (one arm per constructor, declaration order).
+    Match(Box<TExpr>, Vec<TArm>),
+    /// `assert e` with its source line.
+    Assert(Box<TExpr>, u32),
+}
+
+/// A binding in a recursive group.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TBind {
+    /// Bound name.
+    pub name: Symbol,
+    /// Generalized scheme.
+    pub scheme: Scheme,
+    /// Right-hand side.
+    pub rhs: TExpr,
+}
+
+/// Applies a type-variable substitution throughout a typed tree:
+/// node types, variable-occurrence instantiations, constructor type
+/// arguments, and binding schemes. Used to *specialize* a binding whose
+/// inferred scheme is more general than its declared interface.
+pub fn apply_types(e: &mut TExpr, map: &std::collections::HashMap<u32, MlType>) {
+    e.ty = e.ty.apply(map);
+    match &mut e.kind {
+        TExprKind::Var(_, inst) => {
+            for t in inst {
+                *t = t.apply(map);
+            }
+        }
+        TExprKind::Int(_) | TExprKind::Bool(_) | TExprKind::Unit => {}
+        TExprKind::Prim(_, a, b) => {
+            apply_types(a, map);
+            apply_types(b, map);
+        }
+        TExprKind::Neg(a) | TExprKind::Not(a) => apply_types(a, map),
+        TExprKind::Lam(_, b) => apply_types(b, map),
+        TExprKind::App(f, a) => {
+            apply_types(f, map);
+            apply_types(a, map);
+        }
+        TExprKind::Let(_, scheme, rhs, body) => {
+            scheme.ty = scheme.ty.apply(map);
+            scheme.vars.retain(|v| !map.contains_key(v));
+            apply_types(rhs, map);
+            apply_types(body, map);
+        }
+        TExprKind::LetRec(binds, body) => {
+            for b in binds {
+                b.scheme.ty = b.scheme.ty.apply(map);
+                b.scheme.vars.retain(|v| !map.contains_key(v));
+                apply_types(&mut b.rhs, map);
+            }
+            apply_types(body, map);
+        }
+        TExprKind::LetTuple(_, rhs, body) => {
+            apply_types(rhs, map);
+            apply_types(body, map);
+        }
+        TExprKind::If(c, t, f) => {
+            apply_types(c, map);
+            apply_types(t, map);
+            apply_types(f, map);
+        }
+        TExprKind::Tuple(es) => {
+            for x in es {
+                apply_types(x, map);
+            }
+        }
+        TExprKind::Ctor(_, targs, args) => {
+            for t in targs {
+                *t = t.apply(map);
+            }
+            for a in args {
+                apply_types(a, map);
+            }
+        }
+        TExprKind::Match(s, arms) => {
+            apply_types(s, map);
+            for a in arms {
+                apply_types(&mut a.body, map);
+            }
+        }
+        TExprKind::Assert(a, _) => apply_types(a, map),
+    }
+}
+
+/// A typed match arm.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TArm {
+    /// Constructor.
+    pub ctor: Symbol,
+    /// Field binders (all named).
+    pub binders: Vec<Symbol>,
+    /// Arm body.
+    pub body: TExpr,
+}
+
+/// A typed top-level binding group.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TTopLet {
+    /// Whether the group is recursive.
+    pub recursive: bool,
+    /// Bindings.
+    pub binds: Vec<TBind>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A fully typed program.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TProgram {
+    /// Binding groups in source order.
+    pub lets: Vec<TTopLet>,
+}
+
+impl TProgram {
+    /// Finds the scheme of a top-level name.
+    pub fn scheme_of(&self, name: Symbol) -> Option<&Scheme> {
+        self.lets
+            .iter()
+            .flat_map(|l| l.binds.iter())
+            .find(|b| b.name == name)
+            .map(|b| &b.scheme)
+    }
+}

@@ -1,0 +1,563 @@
+//! Atomization and Tseitin CNF encoding.
+//!
+//! Predicates are split into *theory atoms* (equalities, linear
+//! inequalities, boolean terms) mapped to SAT variables, and their boolean
+//! structure is encoded into CNF clauses. Integer inequalities are
+//! normalized — strict relations tightened (`a < b` becomes `a ≤ b − 1`),
+//! coefficients scaled to coprime integers, constants ceiling-tightened —
+//! so equivalent atoms share one SAT variable.
+
+use crate::{BVar, LinExpr, Lit, Rat, Term, TermArena, TermId};
+use dsolve_logic::{Pred, Rel, Sort, SortEnv, Symbol};
+use std::collections::HashMap;
+
+/// Identifier of a theory atom.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AtomId(pub u32);
+
+impl AtomId {
+    /// Index form.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A theory atom.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Atom {
+    /// `a = b`; `lin` carries `a − b` when both sides are integers so the
+    /// equality also reaches the arithmetic solver.
+    Eq {
+        /// Left term.
+        a: TermId,
+        /// Right term.
+        b: TermId,
+        /// Linear form `a − b` for integer-sorted equalities.
+        lin: Option<LinExpr>,
+    },
+    /// `lin ≤ 0` over integer atoms (already tightened/normalized).
+    IntLe(LinExpr),
+    /// A boolean-sorted term asserted true.
+    BoolTerm(TermId),
+}
+
+/// The atom table built during encoding.
+pub struct Atoms {
+    /// Term arena shared with the theory solvers.
+    pub arena: TermArena,
+    defs: Vec<Atom>,
+    dedup: HashMap<String, AtomId>,
+    true_id: TermId,
+    false_id: TermId,
+}
+
+impl Default for Atoms {
+    fn default() -> Atoms {
+        Atoms::new()
+    }
+}
+
+impl Atoms {
+    /// Creates an empty atom table (with the boolean constants
+    /// pre-interned for the theory layer).
+    pub fn new() -> Atoms {
+        let mut arena = TermArena::new();
+        let true_id = arena.intern(Term::Bool(true), Sort::Bool);
+        let false_id = arena.intern(Term::Bool(false), Sort::Bool);
+        Atoms {
+            arena,
+            defs: Vec::new(),
+            dedup: HashMap::new(),
+            true_id,
+            false_id,
+        }
+    }
+
+    /// The arena id of the boolean constant `b`.
+    pub fn bool_const(&self, b: bool) -> TermId {
+        if b {
+            self.true_id
+        } else {
+            self.false_id
+        }
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// The definition of an atom.
+    pub fn atom(&self, id: AtomId) -> &Atom {
+        &self.defs[id.index()]
+    }
+
+    fn intern(&mut self, key: String, def: Atom) -> AtomId {
+        if let Some(&id) = self.dedup.get(&key) {
+            return id;
+        }
+        let id = AtomId(u32::try_from(self.defs.len()).expect("atom table overflow"));
+        self.dedup.insert(key, id);
+        self.defs.push(def);
+        id
+    }
+
+    /// Normalizes `lin ≤ 0`: integer coefficients, coprime, constant
+    /// tightened to its ceiling (sound because every atom is
+    /// integer-valued).
+    fn normalize_le(mut lin: LinExpr) -> LinExpr {
+        // Scale to integer coefficients.
+        let mut denom_lcm: i128 = lin.constant.denom();
+        for c in lin.terms.values() {
+            let d = c.denom();
+            denom_lcm = denom_lcm / gcd(denom_lcm, d) * d;
+        }
+        lin = lin.scale(Rat::new(denom_lcm, 1));
+        // Divide by the gcd of the variable coefficients.
+        let mut g: i128 = 0;
+        for c in lin.terms.values() {
+            g = gcd(g, c.numer());
+        }
+        if g > 1 {
+            lin = lin.scale(Rat::new(1, g));
+        }
+        // Tighten the constant: Σa·x + c ≤ 0 ⟺ Σa·x + ⌈c⌉ ≤ 0 over ints.
+        lin.constant = lin.constant.ceil();
+        lin
+    }
+
+    fn lin_key(lin: &LinExpr) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(s, "{}", lin.constant);
+        for (t, c) in &lin.terms {
+            let _ = write!(s, "+{}*t{}", c, t.0);
+        }
+        s
+    }
+
+    /// Returns the atom (and polarity) for `a rel b` between two flattened
+    /// / linearized sides.
+    ///
+    /// The polarity flag handles relations encoded as negations of an
+    /// existing atom (`Ne` is `¬Eq`).
+    pub fn atom_of_rel(
+        &mut self,
+        rel: Rel,
+        lhs: &dsolve_logic::Expr,
+        rhs: &dsolve_logic::Expr,
+        env: &SortEnv,
+    ) -> (AtomId, bool) {
+        let lsort = env.sort_of(lhs);
+        let rsort = env.sort_of(rhs);
+        let both_int = lsort == Some(Sort::Int) && rsort == Some(Sort::Int);
+        match rel {
+            Rel::Le | Rel::Lt | Rel::Ge | Rel::Gt if both_int => {
+                // Reduce to lin ≤ 0 with integer tightening.
+                let la = self.arena.linearize(lhs, env);
+                let lb = self.arena.linearize(rhs, env);
+                let lin = match rel {
+                    Rel::Le => la.minus(&lb),
+                    Rel::Lt => {
+                        let mut l = la.minus(&lb);
+                        l.constant += Rat::ONE;
+                        l
+                    }
+                    Rel::Ge => lb.minus(&la),
+                    Rel::Gt => {
+                        let mut l = lb.minus(&la);
+                        l.constant += Rat::ONE;
+                        l
+                    }
+                    _ => unreachable!(),
+                };
+                let lin = Self::normalize_le(lin);
+                let key = format!("le:{}", Self::lin_key(&lin));
+                (self.intern(key, Atom::IntLe(lin)), true)
+            }
+            Rel::Eq | Rel::Ne => {
+                let ta = self.arena.flatten(lhs, env);
+                let tb = self.arena.flatten(rhs, env);
+                let (ta, tb) = if ta <= tb { (ta, tb) } else { (tb, ta) };
+                let lin = if both_int {
+                    let la = self.arena.linearize(lhs, env);
+                    let lb = self.arena.linearize(rhs, env);
+                    Some(la.minus(&lb))
+                } else {
+                    None
+                };
+                let key = format!("eq:t{}:t{}", ta.0, tb.0);
+                let id = self.intern(key, Atom::Eq { a: ta, b: tb, lin });
+                (id, rel == Rel::Eq)
+            }
+            Rel::In | Rel::Sub => {
+                // Uninterpreted membership/subset predicate over terms.
+                let ta = self.arena.flatten(lhs, env);
+                let tb = self.arena.flatten(rhs, env);
+                let head = if rel == Rel::In { "$in" } else { "$subset" };
+                let t = self.arena.intern(
+                    Term::App(Symbol::new(head), vec![ta, tb]),
+                    Sort::Bool,
+                );
+                let key = format!("bt:t{}", t.0);
+                (self.intern(key, Atom::BoolTerm(t)), true)
+            }
+            // Ordering over non-integers: treated as an uninterpreted
+            // boolean term (sound: no facts are derivable from it).
+            _ => {
+                let ta = self.arena.flatten(lhs, env);
+                let tb = self.arena.flatten(rhs, env);
+                let t = self.arena.intern(
+                    Term::App(Symbol::new(&format!("$rel_{rel}")), vec![ta, tb]),
+                    Sort::Bool,
+                );
+                let key = format!("bt:t{}", t.0);
+                (self.intern(key, Atom::BoolTerm(t)), true)
+            }
+        }
+    }
+
+    /// Returns the atom for a boolean term.
+    pub fn atom_of_term(&mut self, e: &dsolve_logic::Expr, env: &SortEnv) -> AtomId {
+        let t = self.arena.flatten(e, env);
+        let key = format!("bt:t{}", t.0);
+        self.intern(key, Atom::BoolTerm(t))
+    }
+
+    /// Interns a normalized `lin ≤ 0` atom directly (used by the encoder
+    /// to split integer equalities into a pair of inequalities).
+    pub fn int_le_atom(&mut self, lin: LinExpr) -> AtomId {
+        let lin = Self::normalize_le(lin);
+        let key = format!("le:{}", Self::lin_key(&lin));
+        self.intern(key, Atom::IntLe(lin))
+    }
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Output of the CNF encoding: clauses over SAT variables, with the
+/// mapping from atoms to variables.
+pub struct CnfFormula {
+    /// CNF clauses.
+    pub clauses: Vec<Vec<Lit>>,
+    /// SAT variable for each atom id (index = atom index).
+    pub atom_vars: Vec<BVar>,
+    /// Total number of SAT variables (atoms + Tseitin gates).
+    pub num_vars: usize,
+}
+
+/// Encodes `p` (asserted true) into CNF over theory atoms.
+pub fn encode(p: &Pred, atoms: &mut Atoms, env: &SortEnv) -> CnfFormula {
+    let mut enc = Encoder {
+        atoms,
+        env,
+        clauses: Vec::new(),
+        atom_vars: HashMap::new(),
+        nvars: 0,
+        split_eqs: std::collections::HashSet::new(),
+    };
+    match enc.lit_of(p) {
+        EncLit::Const(true) => {}
+        EncLit::Const(false) => enc.clauses.push(vec![]),
+        EncLit::Lit(l) => enc.clauses.push(vec![l]),
+    }
+    // Dense atom-var table (atoms created during encoding are all mapped).
+    let mut table = vec![BVar(u32::MAX); enc.atoms.len()];
+    for (aid, v) in &enc.atom_vars {
+        table[aid.index()] = *v;
+    }
+    // Atoms mentioned zero times (shouldn't happen) get fresh vars.
+    let mut nvars = enc.nvars;
+    for t in table.iter_mut() {
+        if t.0 == u32::MAX {
+            *t = BVar(nvars as u32);
+            nvars += 1;
+        }
+    }
+    CnfFormula {
+        clauses: enc.clauses,
+        atom_vars: table,
+        num_vars: nvars,
+    }
+}
+
+enum EncLit {
+    Const(bool),
+    Lit(Lit),
+}
+
+/// The polarities under which a subformula can be asserted.
+#[derive(Clone, Copy)]
+struct PolaritySet {
+    pos: bool,
+    neg: bool,
+}
+
+impl PolaritySet {
+    const POS: PolaritySet = PolaritySet { pos: true, neg: false };
+    const BOTH: PolaritySet = PolaritySet { pos: true, neg: true };
+
+    fn flip(self) -> PolaritySet {
+        PolaritySet {
+            pos: self.neg,
+            neg: self.pos,
+        }
+    }
+}
+
+struct Encoder<'a> {
+    atoms: &'a mut Atoms,
+    env: &'a SortEnv,
+    clauses: Vec<Vec<Lit>>,
+    atom_vars: HashMap<AtomId, BVar>,
+    nvars: usize,
+    split_eqs: std::collections::HashSet<AtomId>,
+}
+
+impl Encoder<'_> {
+    fn fresh(&mut self) -> BVar {
+        let v = BVar(self.nvars as u32);
+        self.nvars += 1;
+        v
+    }
+
+    fn var_of_atom(&mut self, a: AtomId) -> BVar {
+        if let Some(&v) = self.atom_vars.get(&a) {
+            return v;
+        }
+        let v = self.fresh();
+        self.atom_vars.insert(a, v);
+        v
+    }
+
+    fn lit_of(&mut self, p: &Pred) -> EncLit {
+        self.lit_of_polarity(p, PolaritySet::POS)
+    }
+
+    fn lit_of_polarity(&mut self, p: &Pred, pol: PolaritySet) -> EncLit {
+        match p {
+            Pred::True => EncLit::Const(true),
+            Pred::False => EncLit::Const(false),
+            Pred::Atom(rel, a, b) => {
+                let (aid, pos) = self.atoms.atom_of_rel(*rel, a, b, self.env);
+                let v = self.var_of_atom(aid);
+                // Integer equalities that may occur *negated* are defined
+                // as the conjunction of two inequalities so the strict
+                // complement reaches the arithmetic solver (EUF alone
+                // cannot refute `x≤y ∧ y≤x ∧ x≠y`). Positive-only
+                // occurrences skip the split, keeping conjunctive queries
+                // free of boolean choice.
+                let atom_neg_possible = if pos { pol.neg } else { pol.pos };
+                if atom_neg_possible {
+                    if let Atom::Eq { lin: Some(lin), .. } = self.atoms.atom(aid).clone() {
+                        if self.split_eqs.insert(aid) {
+                            let le1 = self.atoms.int_le_atom(lin.clone());
+                            let le2 = self.atoms.int_le_atom(lin.scale(Rat::from_int(-1)));
+                            let v1 = self.var_of_atom(le1);
+                            let v2 = self.var_of_atom(le2);
+                            let eq = Lit::pos(v);
+                            // eq ↔ (le1 ∧ le2)
+                            self.clauses.push(vec![eq.negate(), Lit::pos(v1)]);
+                            self.clauses.push(vec![eq.negate(), Lit::pos(v2)]);
+                            self.clauses
+                                .push(vec![eq, Lit::neg(v1), Lit::neg(v2)]);
+                        }
+                    }
+                }
+                EncLit::Lit(Lit::new(v, pos))
+            }
+            Pred::Term(e) => {
+                let aid = self.atoms.atom_of_term(e, self.env);
+                let v = self.var_of_atom(aid);
+                EncLit::Lit(Lit::pos(v))
+            }
+            Pred::Not(q) => match self.lit_of_polarity(q, pol.flip()) {
+                EncLit::Const(b) => EncLit::Const(!b),
+                EncLit::Lit(l) => EncLit::Lit(l.negate()),
+            },
+            Pred::And(ps) => self.gate(ps, true, pol),
+            Pred::Or(ps) => self.gate(ps, false, pol),
+            Pred::Imp(p, q) => {
+                let disj = Pred::Or(vec![Pred::Not(p.clone()), (**q).clone()]);
+                self.lit_of_polarity(&disj, pol)
+            }
+            Pred::Iff(p, q) => {
+                let lp = self.lit_of_polarity(p, PolaritySet::BOTH);
+                let lq = self.lit_of_polarity(q, PolaritySet::BOTH);
+                match (lp, lq) {
+                    (EncLit::Const(a), EncLit::Const(b)) => EncLit::Const(a == b),
+                    (EncLit::Const(true), EncLit::Lit(l))
+                    | (EncLit::Lit(l), EncLit::Const(true)) => EncLit::Lit(l),
+                    (EncLit::Const(false), EncLit::Lit(l))
+                    | (EncLit::Lit(l), EncLit::Const(false)) => EncLit::Lit(l.negate()),
+                    (EncLit::Lit(a), EncLit::Lit(b)) => {
+                        let g = Lit::pos(self.fresh());
+                        // g ↔ (a ↔ b)
+                        self.clauses.push(vec![g.negate(), a.negate(), b]);
+                        self.clauses.push(vec![g.negate(), a, b.negate()]);
+                        self.clauses.push(vec![g, a, b]);
+                        self.clauses.push(vec![g, a.negate(), b.negate()]);
+                        EncLit::Lit(g)
+                    }
+                }
+            }
+        }
+    }
+
+    /// And/Or gate: `conj` selects conjunction.
+    fn gate(&mut self, ps: &[Pred], conj: bool, pol: PolaritySet) -> EncLit {
+        let mut lits = Vec::new();
+        for p in ps {
+            match self.lit_of_polarity(p, pol) {
+                EncLit::Const(b) => {
+                    if b != conj {
+                        // Absorbing element.
+                        return EncLit::Const(!conj);
+                    }
+                }
+                EncLit::Lit(l) => lits.push(l),
+            }
+        }
+        match lits.len() {
+            0 => EncLit::Const(conj),
+            1 => EncLit::Lit(lits[0]),
+            _ => {
+                let g = Lit::pos(self.fresh());
+                if conj {
+                    // g → each li; (¬l1 ∨ ... ∨ ¬ln) → ¬g reversed.
+                    let mut big = vec![g];
+                    for l in &lits {
+                        self.clauses.push(vec![g.negate(), *l]);
+                        big.push(l.negate());
+                    }
+                    self.clauses.push(big);
+                } else {
+                    let mut big = vec![g.negate()];
+                    for l in &lits {
+                        self.clauses.push(vec![g, l.negate()]);
+                        big.push(*l);
+                    }
+                    self.clauses.push(big);
+                }
+                EncLit::Lit(g)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsolve_logic::parse_pred;
+
+    fn env() -> SortEnv {
+        let mut env = SortEnv::new();
+        for v in ["x", "y", "z"] {
+            env.bind(Symbol::new(v), Sort::Int);
+        }
+        env.bind(Symbol::new("s"), Sort::Set);
+        env.bind(Symbol::new("flag"), Sort::Bool);
+        env
+    }
+
+    #[test]
+    fn equivalent_inequalities_share_atoms() {
+        let mut atoms = Atoms::new();
+        let env = env();
+        let p1 = parse_pred("x < y").unwrap();
+        let p2 = parse_pred("x + 1 <= y").unwrap();
+        let Pred::Atom(r1, a1, b1) = &p1 else { panic!() };
+        let Pred::Atom(r2, a2, b2) = &p2 else { panic!() };
+        let (id1, _) = atoms.atom_of_rel(*r1, a1, b1, &env);
+        let (id2, _) = atoms.atom_of_rel(*r2, a2, b2, &env);
+        assert_eq!(id1, id2);
+    }
+
+    #[test]
+    fn scaled_inequalities_share_atoms() {
+        let mut atoms = Atoms::new();
+        let env = env();
+        let p1 = parse_pred("2 * x <= 2 * y").unwrap();
+        let p2 = parse_pred("x <= y").unwrap();
+        let Pred::Atom(r1, a1, b1) = &p1 else { panic!() };
+        let Pred::Atom(r2, a2, b2) = &p2 else { panic!() };
+        let (id1, _) = atoms.atom_of_rel(*r1, a1, b1, &env);
+        let (id2, _) = atoms.atom_of_rel(*r2, a2, b2, &env);
+        assert_eq!(id1, id2);
+    }
+
+    #[test]
+    fn ne_is_negated_eq() {
+        let mut atoms = Atoms::new();
+        let env = env();
+        let p1 = parse_pred("x = y").unwrap();
+        let p2 = parse_pred("x != y").unwrap();
+        let Pred::Atom(r1, a1, b1) = &p1 else { panic!() };
+        let Pred::Atom(r2, a2, b2) = &p2 else { panic!() };
+        let (id1, pos1) = atoms.atom_of_rel(*r1, a1, b1, &env);
+        let (id2, pos2) = atoms.atom_of_rel(*r2, a2, b2, &env);
+        assert_eq!(id1, id2);
+        assert!(pos1);
+        assert!(!pos2);
+    }
+
+    #[test]
+    fn int_equality_has_linear_form() {
+        let mut atoms = Atoms::new();
+        let env = env();
+        let p = parse_pred("x = y + 1").unwrap();
+        let Pred::Atom(r, a, b) = &p else { panic!() };
+        let (id, _) = atoms.atom_of_rel(*r, a, b, &env);
+        assert!(matches!(atoms.atom(id), Atom::Eq { lin: Some(_), .. }));
+    }
+
+    #[test]
+    fn set_equality_has_no_linear_form() {
+        let mut atoms = Atoms::new();
+        let env = env();
+        let p = parse_pred("s = union(s, s)").unwrap();
+        let Pred::Atom(r, a, b) = &p else { panic!() };
+        let (id, _) = atoms.atom_of_rel(*r, a, b, &env);
+        assert!(matches!(atoms.atom(id), Atom::Eq { lin: None, .. }));
+    }
+
+    #[test]
+    fn encode_produces_clauses() {
+        let mut atoms = Atoms::new();
+        let env = env();
+        let p = parse_pred("x < y && (y < z || flag)").unwrap();
+        let cnf = encode(&p, &mut atoms, &env);
+        assert!(!cnf.clauses.is_empty());
+        assert_eq!(cnf.atom_vars.len(), atoms.len());
+        assert!(cnf.num_vars >= atoms.len());
+    }
+
+    #[test]
+    fn encode_constant_true_is_empty() {
+        let mut atoms = Atoms::new();
+        let env = env();
+        let cnf = encode(&Pred::True, &mut atoms, &env);
+        assert!(cnf.clauses.is_empty());
+    }
+
+    #[test]
+    fn encode_constant_false_is_empty_clause() {
+        let mut atoms = Atoms::new();
+        let env = env();
+        let cnf = encode(&Pred::False, &mut atoms, &env);
+        assert_eq!(cnf.clauses, vec![Vec::<Lit>::new()]);
+    }
+}

@@ -1,0 +1,268 @@
+//! Congruence closure for equality with uninterpreted functions.
+//!
+//! The classic union-find + signature-table algorithm: asserted equalities
+//! merge classes, congruent applications (same head, pairwise-equal
+//! arguments) are merged transitively, and a conflict is reported when a
+//! disequality spans one class or a class contains two distinct constants
+//! (integer literals, `true`/`false`).
+
+use crate::{Term, TermArena, TermId};
+use std::collections::HashMap;
+
+/// Result of a congruence-closure run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EufResult {
+    /// The asserted literals are consistent in EUF.
+    Sat,
+    /// A conflict was detected (merged disequality or clashing constants).
+    Unsat,
+}
+
+/// Congruence closure engine over a [`TermArena`].
+///
+/// The engine is rebuilt per theory check (the fleet of checks is large
+/// but each is small, so non-incremental closure keeps the code simple
+/// and auditable).
+pub struct Euf<'a> {
+    arena: &'a TermArena,
+    parent: Vec<u32>,
+    rank: Vec<u32>,
+    /// Asserted disequalities.
+    diseqs: Vec<(TermId, TermId)>,
+    /// Pending merges.
+    pending: Vec<(TermId, TermId)>,
+}
+
+impl<'a> Euf<'a> {
+    /// Creates a closure engine over all terms currently in the arena.
+    pub fn new(arena: &'a TermArena) -> Euf<'a> {
+        let n = arena.len();
+        Euf {
+            arena,
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            diseqs: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Representative of `t`'s class.
+    pub fn find(&mut self, t: TermId) -> TermId {
+        let mut r = t.0;
+        while self.parent[r as usize] != r {
+            // Path halving.
+            self.parent[r as usize] = self.parent[self.parent[r as usize] as usize];
+            r = self.parent[r as usize];
+        }
+        TermId(r)
+    }
+
+    /// Asserts `a = b`.
+    pub fn assert_eq(&mut self, a: TermId, b: TermId) {
+        self.pending.push((a, b));
+    }
+
+    /// Asserts `a != b`.
+    pub fn assert_ne(&mut self, a: TermId, b: TermId) {
+        self.diseqs.push((a, b));
+    }
+
+    /// Computes the closure and checks consistency.
+    pub fn check(&mut self) -> EufResult {
+        // Fixpoint: merge pending pairs, then recompute congruences until
+        // no new merge appears.
+        loop {
+            while let Some((a, b)) = self.pending.pop() {
+                self.merge(a, b);
+            }
+            if !self.propagate_congruences() {
+                break;
+            }
+        }
+        if self.has_conflict() {
+            EufResult::Unsat
+        } else {
+            EufResult::Sat
+        }
+    }
+
+    /// Whether `a` and `b` are in the same class (call after [`Euf::check`]).
+    pub fn same_class(&mut self, a: TermId, b: TermId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    fn merge(&mut self, a: TermId, b: TermId) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        let (child, root) = if self.rank[ra.index()] < self.rank[rb.index()] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        if self.rank[child.index()] == self.rank[root.index()] {
+            self.rank[root.index()] += 1;
+        }
+        self.parent[child.0 as usize] = root.0;
+    }
+
+    /// One congruence pass; returns true if any merge was queued.
+    fn propagate_congruences(&mut self) -> bool {
+        let mut sigs: HashMap<(dsolve_logic::Symbol, Vec<TermId>), TermId> = HashMap::new();
+        let mut changed = false;
+        for id in self.arena.ids() {
+            if let Term::App(f, args) = self.arena.term(id) {
+                let canon: Vec<TermId> = args.iter().map(|a| self.find(*a)).collect();
+                match sigs.entry((*f, canon)) {
+                    std::collections::hash_map::Entry::Occupied(prev) => {
+                        let other = *prev.get();
+                        if self.find(other) != self.find(id) {
+                            self.pending.push((other, id));
+                            changed = true;
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(id);
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    fn has_conflict(&mut self) -> bool {
+        // Disequality merged into one class.
+        let diseqs = self.diseqs.clone();
+        for (a, b) in diseqs {
+            if self.find(a) == self.find(b) {
+                return true;
+            }
+        }
+        // Two distinct constants in one class.
+        let mut const_of_class: HashMap<TermId, &Term> = HashMap::new();
+        for id in self.arena.ids() {
+            let t = self.arena.term(id);
+            if matches!(t, Term::Int(_) | Term::Bool(_)) {
+                let root = self.find(id);
+                if let Some(prev) = const_of_class.get(&root) {
+                    if **prev != *t {
+                        return true;
+                    }
+                } else {
+                    const_of_class.insert(root, t);
+                }
+            }
+        }
+        false
+    }
+
+    /// All pairs of distinct representatives that were merged, restricted
+    /// to the given terms — used for Nelson–Oppen equality propagation.
+    pub fn equalities_among(&mut self, terms: &[TermId]) -> Vec<(TermId, TermId)> {
+        let mut out = Vec::new();
+        for (i, &a) in terms.iter().enumerate() {
+            for &b in &terms[i + 1..] {
+                if self.find(a) == self.find(b) {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsolve_logic::{Sort, Symbol};
+
+    fn setup() -> (TermArena, Vec<TermId>) {
+        let mut a = TermArena::new();
+        let s = Sort::Int;
+        let x = a.intern(Term::Var(Symbol::new("x"), s.clone()), s.clone());
+        let y = a.intern(Term::Var(Symbol::new("y"), s.clone()), s.clone());
+        let z = a.intern(Term::Var(Symbol::new("z"), s.clone()), s.clone());
+        let fx = a.intern(Term::App(Symbol::new("f"), vec![x]), s.clone());
+        let fy = a.intern(Term::App(Symbol::new("f"), vec![y]), s.clone());
+        let ffx = a.intern(Term::App(Symbol::new("f"), vec![fx]), s.clone());
+        (a, vec![x, y, z, fx, fy, ffx])
+    }
+
+    #[test]
+    fn congruence_merges_applications() {
+        let (arena, ids) = setup();
+        let (x, y, _, fx, fy, _) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        let mut euf = Euf::new(&arena);
+        euf.assert_eq(x, y);
+        assert_eq!(euf.check(), EufResult::Sat);
+        assert!(euf.same_class(fx, fy));
+    }
+
+    #[test]
+    fn transitivity_and_conflict() {
+        let (arena, ids) = setup();
+        let (x, y, z) = (ids[0], ids[1], ids[2]);
+        let mut euf = Euf::new(&arena);
+        euf.assert_eq(x, y);
+        euf.assert_eq(y, z);
+        euf.assert_ne(x, z);
+        assert_eq!(euf.check(), EufResult::Unsat);
+    }
+
+    #[test]
+    fn congruence_chain_conflict() {
+        // x = f(x), plus f(f(x)) != x is a conflict: f(x)=f(f(x)) by
+        // congruence from x=f(x), hence x = f(x) = f(f(x)).
+        let (arena, ids) = setup();
+        let (x, fx, ffx) = (ids[0], ids[3], ids[5]);
+        let mut euf = Euf::new(&arena);
+        euf.assert_eq(x, fx);
+        euf.assert_ne(ffx, x);
+        assert_eq!(euf.check(), EufResult::Unsat);
+    }
+
+    #[test]
+    fn distinct_constants_conflict() {
+        let mut a = TermArena::new();
+        let one = a.intern(Term::Int(1), Sort::Int);
+        let two = a.intern(Term::Int(2), Sort::Int);
+        let x = a.intern(Term::Var(Symbol::new("x"), Sort::Int), Sort::Int);
+        let mut euf = Euf::new(&a);
+        euf.assert_eq(x, one);
+        euf.assert_eq(x, two);
+        assert_eq!(euf.check(), EufResult::Unsat);
+    }
+
+    #[test]
+    fn bool_constants_distinct() {
+        let mut a = TermArena::new();
+        let t = a.intern(Term::Bool(true), Sort::Bool);
+        let f = a.intern(Term::Bool(false), Sort::Bool);
+        let mut euf = Euf::new(&a);
+        euf.assert_eq(t, f);
+        assert_eq!(euf.check(), EufResult::Unsat);
+    }
+
+    #[test]
+    fn consistent_disequalities() {
+        let (arena, ids) = setup();
+        let (x, y) = (ids[0], ids[1]);
+        let mut euf = Euf::new(&arena);
+        euf.assert_ne(x, y);
+        assert_eq!(euf.check(), EufResult::Sat);
+        assert!(!euf.same_class(x, y));
+    }
+
+    #[test]
+    fn equalities_among_interface_terms() {
+        let (arena, ids) = setup();
+        let (x, y, z) = (ids[0], ids[1], ids[2]);
+        let mut euf = Euf::new(&arena);
+        euf.assert_eq(x, y);
+        assert_eq!(euf.check(), EufResult::Sat);
+        let eqs = euf.equalities_among(&[x, y, z]);
+        assert_eq!(eqs, vec![(x, y)]);
+    }
+}

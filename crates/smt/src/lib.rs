@@ -1,0 +1,63 @@
+//! # dsolve-smt
+//!
+//! A from-scratch SMT solver for the decidable fragment the paper's
+//! verifier targets: quantifier-free formulas over **e**quality,
+//! **u**ninterpreted **f**unctions and linear integer **a**rithmetic
+//! (EUFA), extended with ground McCarthy array operators (`Sel`/`Upd`)
+//! and an ACI1 theory of finite sets (`empty`/`single`/`union`).
+//!
+//! The original DSOLVE used Z3 [de Moura & Bjørner, TACAS 2008]; this
+//! crate substitutes a self-contained lazy-SMT stack so the verifier runs
+//! with zero system dependencies:
+//!
+//! * [`CdclSolver`] — conflict-driven clause learning SAT core;
+//! * [`Euf`] — congruence closure;
+//! * [`Simplex`] — general simplex with integer branch-and-bound;
+//! * array-axiom instantiation and set canonicalization preprocessing;
+//! * a Nelson–Oppen-style combination loop with equality propagation.
+//!
+//! Every incompleteness escape hatch (branch-and-bound budget, conflict
+//! budget) resolves toward "satisfiable", i.e. toward *rejecting* a
+//! verification condition — the verifier built on top is conservative.
+//!
+//! ## Example
+//!
+//! ```
+//! use dsolve_logic::{parse_pred, Sort, SortEnv, Symbol};
+//! use dsolve_smt::SmtSolver;
+//!
+//! let mut env = SortEnv::new();
+//! env.bind(Symbol::new("i"), Sort::Int);
+//! env.bind(Symbol::new("k"), Sort::Int);
+//!
+//! let mut smt = SmtSolver::new();
+//! // The divide-by-zero obligation from Fig. 1 of the paper:
+//! // 1 <= i and i <= k imply k != 0.
+//! let lhs = parse_pred("1 <= i && i <= k").unwrap();
+//! let rhs = parse_pred("k != 0").unwrap();
+//! assert!(smt.is_valid(&env, &lhs, &rhs));
+//! ```
+
+#![warn(missing_docs)]
+
+mod arrays;
+mod cnf;
+mod euf;
+mod rational;
+mod sat;
+mod sets;
+mod simplex;
+mod solver;
+mod term;
+mod theory;
+
+pub use arrays::instantiate_array_axioms;
+pub use cnf::{encode, Atom, AtomId, Atoms, CnfFormula};
+pub use euf::{Euf, EufResult};
+pub use rational::Rat;
+pub use sat::{BVar, CdclSolver, Lit, SatResult};
+pub use sets::canonicalize_sets;
+pub use simplex::{LpResult, Simplex};
+pub use solver::{SmtSolver, SolverConfig, SolverStats};
+pub use term::{LinExpr, Term, TermArena, TermId};
+pub use theory::{check_assignment, TheoryResult};

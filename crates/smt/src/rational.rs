@@ -1,0 +1,277 @@
+//! Exact rational arithmetic for the simplex core.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An exact rational number with an `i128` numerator and denominator.
+///
+/// Always kept in lowest terms with a strictly positive denominator.
+/// Tableau coefficients in the benchmarks stay tiny, so `i128` leaves an
+/// enormous safety margin; arithmetic panics on overflow (debug and
+/// release) rather than silently wrapping, which would be unsound.
+///
+/// # Examples
+///
+/// ```
+/// use dsolve_smt::Rat;
+/// let a = Rat::new(1, 3);
+/// let b = Rat::new(1, 6);
+/// assert_eq!(a + b, Rat::new(1, 2));
+/// assert!(a > b);
+/// assert_eq!((a / b), Rat::from_int(2));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rat {
+    /// Zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Creates `num/den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Rat {
+            num: sign * (num / g),
+            den: (den / g).abs(),
+        }
+    }
+
+    /// Creates the integer `n`.
+    pub fn from_int(n: i64) -> Rat {
+        Rat {
+            num: i128::from(n),
+            den: 1,
+        }
+    }
+
+    /// The numerator (lowest terms, sign-carrying).
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (lowest terms, positive).
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// Whether the value is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Whether the value is strictly positive.
+    pub fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// Whether the value is strictly negative.
+    pub fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// The floor of the rational as a rational.
+    pub fn floor(self) -> Rat {
+        Rat::new(self.num.div_euclid(self.den), 1)
+    }
+
+    /// The ceiling of the rational as a rational.
+    pub fn ceil(self) -> Rat {
+        Rat::new(-((-self.num).div_euclid(self.den)), 1)
+    }
+
+    /// The multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(self) -> Rat {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rat::new(self.den, self.num)
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Rat {
+        Rat::ZERO
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        Rat::new(
+            self.num
+                .checked_mul(rhs.den)
+                .and_then(|a| rhs.num.checked_mul(self.den).and_then(|b| a.checked_add(b)))
+                .expect("rational overflow in addition"),
+            self.den
+                .checked_mul(rhs.den)
+                .expect("rational overflow in addition"),
+        )
+    }
+}
+
+impl AddAssign for Rat {
+    fn add_assign(&mut self, rhs: Rat) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        self + (-rhs)
+    }
+}
+
+impl SubAssign for Rat {
+    fn sub_assign(&mut self, rhs: Rat) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        Rat::new(
+            self.num
+                .checked_mul(rhs.num)
+                .expect("rational overflow in multiplication"),
+            self.den
+                .checked_mul(rhs.den)
+                .expect("rational overflow in multiplication"),
+        )
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    fn div(self, rhs: Rat) -> Rat {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        let lhs = self
+            .num
+            .checked_mul(other.den)
+            .expect("rational overflow in comparison");
+        let rhs = other
+            .num
+            .checked_mul(self.den)
+            .expect("rational overflow in comparison");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(1, -2), Rat::new(-1, 2));
+        assert_eq!(Rat::new(0, 5), Rat::ZERO);
+        assert_eq!(Rat::new(-3, -6), Rat::new(1, 2));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rat::new(1, 2);
+        let b = Rat::new(1, 3);
+        assert_eq!(a + b, Rat::new(5, 6));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(1, 6));
+        assert_eq!(a / b, Rat::new(3, 2));
+        assert_eq!(-a, Rat::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::ZERO);
+        assert!(Rat::from_int(2) > Rat::new(3, 2));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rat::new(7, 2).floor(), Rat::from_int(3));
+        assert_eq!(Rat::new(7, 2).ceil(), Rat::from_int(4));
+        assert_eq!(Rat::new(-7, 2).floor(), Rat::from_int(-4));
+        assert_eq!(Rat::new(-7, 2).ceil(), Rat::from_int(-3));
+        assert_eq!(Rat::from_int(5).floor(), Rat::from_int(5));
+    }
+
+    #[test]
+    fn integrality() {
+        assert!(Rat::from_int(3).is_integer());
+        assert!(!Rat::new(1, 2).is_integer());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+}

@@ -1,0 +1,563 @@
+//! A CDCL SAT solver.
+//!
+//! Implements the standard loop: unit propagation with two watched
+//! literals, first-UIP conflict analysis with clause learning, activity
+//! (VSIDS-style) branching, and geometric restarts. The theory layer
+//! drives it lazily: each full propositional model is checked against the
+//! theories and refuted with a blocking clause when theory-inconsistent.
+
+use std::fmt;
+
+/// A propositional variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BVar(pub u32);
+
+/// A literal: a variable with a polarity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Positive literal of `v`.
+    pub fn pos(v: BVar) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// Negative literal of `v`.
+    pub fn neg(v: BVar) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// Literal of `v` with the given sign (`true` = positive).
+    pub fn new(v: BVar, sign: bool) -> Lit {
+        if sign {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> BVar {
+        BVar(self.0 >> 1)
+    }
+
+    /// Whether this is a positive literal.
+    pub fn sign(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", if self.sign() { "" } else { "~" }, self.var().0)
+    }
+}
+
+/// Result of a SAT search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// A model was found (consult [`CdclSolver::model_value`]).
+    Sat,
+    /// The clause set is unsatisfiable.
+    Unsat,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Assign {
+    Unassigned,
+    True,
+    False,
+}
+
+type ClauseRef = usize;
+
+/// The CDCL solver.
+///
+/// # Examples
+///
+/// ```
+/// use dsolve_smt::{BVar, CdclSolver, Lit, SatResult};
+/// let mut s = CdclSolver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(vec![Lit::pos(a), Lit::pos(b)]);
+/// s.add_clause(vec![Lit::neg(a)]);
+/// assert_eq!(s.solve(), SatResult::Sat);
+/// assert_eq!(s.model_value(b), true);
+/// ```
+pub struct CdclSolver {
+    nvars: usize,
+    clauses: Vec<Vec<Lit>>,
+    /// Watch lists indexed by literal.
+    watches: Vec<Vec<ClauseRef>>,
+    assign: Vec<Assign>,
+    /// Decision level per variable.
+    level: Vec<u32>,
+    /// Antecedent clause per variable (for conflict analysis).
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    prop_head: usize,
+    activity: Vec<f64>,
+    act_inc: f64,
+    /// Empty clause added directly.
+    unsat: bool,
+}
+
+impl Default for CdclSolver {
+    fn default() -> CdclSolver {
+        CdclSolver::new()
+    }
+}
+
+impl CdclSolver {
+    /// Creates an empty solver.
+    pub fn new() -> CdclSolver {
+        CdclSolver {
+            nvars: 0,
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            prop_head: 0,
+            activity: Vec::new(),
+            act_inc: 1.0,
+            unsat: false,
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> BVar {
+        let v = BVar(u32::try_from(self.nvars).expect("too many SAT variables"));
+        self.nvars += 1;
+        self.assign.push(Assign::Unassigned);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Adds a clause. May only be called between `solve` calls (the solver
+    /// backtracks to level 0 before returning, and blocking clauses are
+    /// added there).
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) {
+        debug_assert!(self.trail_lim.is_empty(), "add_clause above level 0");
+        // Simplify: dedupe, drop tautologies and false literals.
+        lits.sort();
+        lits.dedup();
+        let mut i = 0;
+        while i + 1 < lits.len() {
+            if lits[i].var() == lits[i + 1].var() {
+                return; // x ∨ ¬x: tautology
+            }
+            i += 1;
+        }
+        lits.retain(|l| self.value(*l) != Assign::False || self.level[l.var().0 as usize] > 0);
+        if lits.iter().any(|l| self.value(*l) == Assign::True && self.level[l.var().0 as usize] == 0) {
+            return; // already satisfied at level 0
+        }
+        match lits.len() {
+            0 => self.unsat = true,
+            1 => {
+                if !self.enqueue(lits[0], None) {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                let cref = self.clauses.len();
+                self.watches[lits[0].negate().index()].push(cref);
+                self.watches[lits[1].negate().index()].push(cref);
+                self.clauses.push(lits);
+            }
+        }
+    }
+
+    fn value(&self, l: Lit) -> Assign {
+        match self.assign[l.var().0 as usize] {
+            Assign::Unassigned => Assign::Unassigned,
+            Assign::True => {
+                if l.sign() {
+                    Assign::True
+                } else {
+                    Assign::False
+                }
+            }
+            Assign::False => {
+                if l.sign() {
+                    Assign::False
+                } else {
+                    Assign::True
+                }
+            }
+        }
+    }
+
+    /// The model value of `v` after `solve` returned `Sat`.
+    pub fn model_value(&self, v: BVar) -> bool {
+        matches!(self.assign[v.0 as usize], Assign::True)
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) -> bool {
+        match self.value(l) {
+            Assign::True => true,
+            Assign::False => false,
+            Assign::Unassigned => {
+                let v = l.var().0 as usize;
+                self.assign[v] = if l.sign() { Assign::True } else { Assign::False };
+                self.level[v] = self.decision_level();
+                self.reason[v] = reason;
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns a conflicting clause on conflict.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.prop_head < self.trail.len() {
+            let l = self.trail[self.prop_head];
+            self.prop_head += 1;
+            // Clauses watching ¬l need attention.
+            let mut ws = std::mem::take(&mut self.watches[l.index()]);
+            let mut keep = Vec::with_capacity(ws.len());
+            let mut conflict = None;
+            while let Some(cref) = ws.pop() {
+                if conflict.is_some() {
+                    keep.push(cref);
+                    continue;
+                }
+                let false_lit = l.negate();
+                // Normalize: watched literals are clause[0] and clause[1].
+                {
+                    let c = &mut self.clauses[cref];
+                    if c[0] == false_lit {
+                        c.swap(0, 1);
+                    }
+                }
+                if self.value(self.clauses[cref][0]) == Assign::True {
+                    keep.push(cref);
+                    continue;
+                }
+                // Find a new watch.
+                let mut found = false;
+                for k in 2..self.clauses[cref].len() {
+                    if self.value(self.clauses[cref][k]) != Assign::False {
+                        self.clauses[cref].swap(1, k);
+                        let w = self.clauses[cref][1].negate().index();
+                        self.watches[w].push(cref);
+                        found = true;
+                        break;
+                    }
+                }
+                if found {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                keep.push(cref);
+                let first = self.clauses[cref][0];
+                if !self.enqueue(first, Some(cref)) {
+                    conflict = Some(cref);
+                }
+            }
+            self.watches[l.index()].extend(keep);
+            if let Some(c) = conflict {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    fn bump(&mut self, v: BVar) {
+        self.activity[v.0 as usize] += self.act_inc;
+        if self.activity[v.0 as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.act_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns (learnt clause, backtrack level).
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.nvars];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut cref = confl;
+        let mut trail_idx = self.trail.len();
+
+        loop {
+            let start = usize::from(p.is_some());
+            let lits: Vec<Lit> = self.clauses[cref][start..].to_vec();
+            for q in lits {
+                let v = q.var();
+                if !seen[v.0 as usize] && self.level[v.0 as usize] > 0 {
+                    seen[v.0 as usize] = true;
+                    self.bump(v);
+                    if self.level[v.0 as usize] == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal from the trail.
+            loop {
+                trail_idx -= 1;
+                let l = self.trail[trail_idx];
+                if seen[l.var().0 as usize] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("found UIP candidate").var();
+            seen[pv.0 as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            cref = self.reason[pv.0 as usize].expect("non-decision has a reason");
+        }
+        let uip = p.expect("first UIP").negate();
+        let mut clause = vec![uip];
+        clause.extend(learnt);
+        // Backtrack level: second-highest level in the clause.
+        let bt = clause[1..]
+            .iter()
+            .map(|l| self.level[l.var().0 as usize])
+            .max()
+            .unwrap_or(0);
+        // Put a literal of the backtrack level at position 1 for watching.
+        if clause.len() > 1 {
+            let pos = clause[1..]
+                .iter()
+                .position(|l| self.level[l.var().0 as usize] == bt)
+                .expect("literal at backtrack level")
+                + 1;
+            clause.swap(1, pos);
+        }
+        (clause, bt)
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().expect("level > 0");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("trail nonempty");
+                let v = l.var().0 as usize;
+                self.assign[v] = Assign::Unassigned;
+                self.reason[v] = None;
+            }
+            self.prop_head = self.trail.len().min(self.prop_head);
+        }
+        self.prop_head = self.trail.len().min(self.prop_head);
+    }
+
+    /// Backtracks to decision level 0 (used by the theory layer before
+    /// adding a blocking clause).
+    pub fn reset_to_root(&mut self) {
+        self.backtrack(0);
+        self.prop_head = 0;
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        let mut best: Option<BVar> = None;
+        for v in 0..self.nvars {
+            if self.assign[v] == Assign::Unassigned {
+                match best {
+                    None => best = Some(BVar(v as u32)),
+                    Some(b) => {
+                        if self.activity[v] > self.activity[b.0 as usize] {
+                            best = Some(BVar(v as u32));
+                        }
+                    }
+                }
+            }
+        }
+        // Default phase: negative (tends to keep atoms "false", which
+        // suits blocking-clause enumeration over mostly-conjunctive VCs).
+        best.map(Lit::neg)
+    }
+
+    /// Runs the CDCL search to completion.
+    pub fn solve(&mut self) -> SatResult {
+        if self.unsat {
+            return SatResult::Unsat;
+        }
+        let mut conflicts_since_restart = 0usize;
+        let mut restart_limit = 100usize;
+        loop {
+            if let Some(confl) = self.propagate() {
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    return SatResult::Unsat;
+                }
+                conflicts_since_restart += 1;
+                self.act_inc *= 1.05;
+                let (clause, bt) = self.analyze(confl);
+                self.backtrack(bt);
+                if clause.len() == 1 {
+                    if !self.enqueue(clause[0], None) {
+                        self.unsat = true;
+                        return SatResult::Unsat;
+                    }
+                } else {
+                    let cref = self.clauses.len();
+                    self.watches[clause[0].negate().index()].push(cref);
+                    self.watches[clause[1].negate().index()].push(cref);
+                    let unit = clause[0];
+                    self.clauses.push(clause);
+                    if !self.enqueue(unit, Some(cref)) {
+                        self.unsat = true;
+                        return SatResult::Unsat;
+                    }
+                }
+            } else if conflicts_since_restart >= restart_limit {
+                conflicts_since_restart = 0;
+                restart_limit = restart_limit * 3 / 2;
+                self.backtrack(0);
+            } else {
+                match self.decide() {
+                    None => return SatResult::Sat,
+                    Some(l) => {
+                        self.trail_lim.push(self.trail.len());
+                        let ok = self.enqueue(l, None);
+                        debug_assert!(ok, "decision literal was assigned");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut CdclSolver, n: usize) -> Vec<BVar> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    #[test]
+    fn empty_problem_is_sat() {
+        let mut s = CdclSolver::new();
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn unit_conflict() {
+        let mut s = CdclSolver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause(vec![Lit::pos(v[0])]);
+        s.add_clause(vec![Lit::neg(v[0])]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn simple_propagation_chain() {
+        let mut s = CdclSolver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(vec![Lit::pos(v[0])]);
+        s.add_clause(vec![Lit::neg(v[0]), Lit::pos(v[1])]);
+        s.add_clause(vec![Lit::neg(v[1]), Lit::pos(v[2])]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.model_value(v[0]) && s.model_value(v[1]) && s.model_value(v[2]));
+    }
+
+    #[test]
+    fn pigeonhole_two_in_one() {
+        // 2 pigeons, 1 hole: p00, p10, ¬p00∨¬p10 — unsat.
+        let mut s = CdclSolver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(vec![Lit::pos(v[0])]);
+        s.add_clause(vec![Lit::pos(v[1])]);
+        s.add_clause(vec![Lit::neg(v[0]), Lit::neg(v[1])]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_pigeons_2_holes() {
+        // PHP(3,2): unsat and requires real search.
+        let mut s = CdclSolver::new();
+        // p[i][j]: pigeon i in hole j.
+        let p: Vec<Vec<BVar>> = (0..3).map(|_| lits(&mut s, 2)).collect();
+        for row in &p {
+            s.add_clause(vec![Lit::pos(row[0]), Lit::pos(row[1])]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(vec![Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn satisfiable_3cnf() {
+        let mut s = CdclSolver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause(vec![Lit::pos(v[0]), Lit::pos(v[1]), Lit::pos(v[2])]);
+        s.add_clause(vec![Lit::neg(v[0]), Lit::pos(v[3])]);
+        s.add_clause(vec![Lit::neg(v[1]), Lit::neg(v[3])]);
+        s.add_clause(vec![Lit::neg(v[2]), Lit::pos(v[0])]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        // Verify the model satisfies every clause.
+        let model = |l: Lit| s.model_value(l.var()) == l.sign();
+        assert!(model(Lit::pos(v[0])) || model(Lit::pos(v[1])) || model(Lit::pos(v[2])));
+    }
+
+    #[test]
+    fn incremental_blocking_clauses() {
+        // Enumerate models of (a ∨ b) by blocking each; exactly 3 models.
+        let mut s = CdclSolver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(vec![Lit::pos(v[0]), Lit::pos(v[1])]);
+        let mut count = 0;
+        while s.solve() == SatResult::Sat {
+            count += 1;
+            assert!(count <= 3, "too many models");
+            let block: Vec<Lit> = v
+                .iter()
+                .map(|&x| Lit::new(x, !s.model_value(x)))
+                .collect();
+            s.reset_to_root();
+            s.add_clause(block);
+        }
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        let mut s = CdclSolver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(vec![Lit::pos(v[0]), Lit::pos(v[0])]);
+        s.add_clause(vec![Lit::pos(v[1]), Lit::neg(v[1])]); // tautology: ignored
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.model_value(v[0]));
+    }
+}

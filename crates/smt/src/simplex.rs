@@ -1,0 +1,407 @@
+//! General simplex for linear arithmetic, with integer branch-and-bound.
+//!
+//! The solver follows Dutertre & de Moura's *general simplex*: every
+//! constraint `Σ cᵢ·xᵢ ⋈ b` is turned into a slack variable `s = Σ cᵢ·xᵢ`
+//! with bounds on `s`; a candidate assignment `β` always satisfies the
+//! tableau equations and the bounds of non-basic variables, and pivoting
+//! repairs basic variables that violate their bounds (Bland's rule for
+//! termination).
+//!
+//! Integer feasibility is decided by branch-and-bound on
+//! fractionally-assigned integer variables. The search is budgeted: if the
+//! budget is exhausted the solver answers "feasible", which makes the
+//! overall verifier *conservative* (it can only cause a spurious type
+//! error, never a missed one).
+
+use crate::Rat;
+use std::collections::HashMap;
+
+/// Feasibility verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LpResult {
+    /// A satisfying assignment exists (or the integer budget ran out).
+    Sat,
+    /// The constraints are infeasible.
+    Unsat,
+}
+
+/// A simplex tableau over rational variables with optional integrality.
+#[derive(Clone, Debug, Default)]
+pub struct Simplex {
+    nvars: usize,
+    lower: Vec<Option<Rat>>,
+    upper: Vec<Option<Rat>>,
+    is_int: Vec<bool>,
+    beta: Vec<Rat>,
+    /// `rows[r]` expresses `basic[r] = Σ coeff·nonbasic`.
+    rows: Vec<HashMap<usize, Rat>>,
+    basic: Vec<usize>,
+    row_of: HashMap<usize, usize>,
+}
+
+impl Simplex {
+    /// Creates an empty tableau.
+    pub fn new() -> Simplex {
+        Simplex::default()
+    }
+
+    /// Adds a fresh variable; `is_int` requests integer feasibility checks.
+    pub fn new_var(&mut self, is_int: bool) -> usize {
+        let v = self.nvars;
+        self.nvars += 1;
+        self.lower.push(None);
+        self.upper.push(None);
+        self.is_int.push(is_int);
+        self.beta.push(Rat::ZERO);
+        v
+    }
+
+    /// Introduces a slack variable `s = Σ coeff·var` and returns `s`.
+    ///
+    /// The combination must be over existing variables; zero coefficients
+    /// are ignored.
+    pub fn add_row(&mut self, combo: &[(usize, Rat)]) -> usize {
+        let s = self.new_var(false);
+        let mut row: HashMap<usize, Rat> = HashMap::new();
+        let mut val = Rat::ZERO;
+        for &(v, c) in combo {
+            if c.is_zero() {
+                continue;
+            }
+            // If v is basic, substitute its row so the tableau stays in
+            // terms of nonbasic variables.
+            if let Some(&r) = self.row_of.get(&v) {
+                let sub = self.rows[r].clone();
+                for (w, cw) in sub {
+                    let e = row.entry(w).or_insert(Rat::ZERO);
+                    *e += c * cw;
+                    if e.is_zero() {
+                        row.remove(&w);
+                    }
+                }
+            } else {
+                let e = row.entry(v).or_insert(Rat::ZERO);
+                *e += c;
+                if e.is_zero() {
+                    row.remove(&v);
+                }
+            }
+            val += c * self.beta[v];
+        }
+        self.beta[s] = val;
+        self.row_of.insert(s, self.rows.len());
+        self.basic.push(s);
+        self.rows.push(row);
+        s
+    }
+
+    /// Asserts `var >= bound`; returns `false` on immediate conflict.
+    pub fn assert_lower(&mut self, var: usize, bound: Rat) -> bool {
+        if let Some(u) = self.upper[var] {
+            if bound > u {
+                return false;
+            }
+        }
+        if self.lower[var].map_or(true, |l| bound > l) {
+            self.lower[var] = Some(bound);
+            if !self.row_of.contains_key(&var) && self.beta[var] < bound {
+                self.update(var, bound);
+            }
+        }
+        true
+    }
+
+    /// Asserts `var <= bound`; returns `false` on immediate conflict.
+    pub fn assert_upper(&mut self, var: usize, bound: Rat) -> bool {
+        if let Some(l) = self.lower[var] {
+            if bound < l {
+                return false;
+            }
+        }
+        if self.upper[var].map_or(true, |u| bound < u) {
+            self.upper[var] = Some(bound);
+            if !self.row_of.contains_key(&var) && self.beta[var] > bound {
+                self.update(var, bound);
+            }
+        }
+        true
+    }
+
+    /// Current value of `var` in the candidate assignment.
+    pub fn value(&self, var: usize) -> Rat {
+        self.beta[var]
+    }
+
+    fn update(&mut self, nonbasic: usize, v: Rat) {
+        let delta = v - self.beta[nonbasic];
+        if delta.is_zero() {
+            return;
+        }
+        for (r, row) in self.rows.iter().enumerate() {
+            if let Some(&c) = row.get(&nonbasic) {
+                let b = self.basic[r];
+                self.beta[b] += c * delta;
+            }
+        }
+        self.beta[nonbasic] = v;
+    }
+
+    fn pivot_and_update(&mut self, bi: usize, xi: usize, xj: usize, v: Rat) {
+        let aij = *self.rows[bi].get(&xj).expect("pivot coefficient");
+        let theta = (v - self.beta[xi]) / aij;
+        self.beta[xi] = v;
+        self.beta[xj] += theta;
+        for (r, row) in self.rows.iter().enumerate() {
+            if r == bi {
+                continue;
+            }
+            if let Some(&akj) = row.get(&xj) {
+                let b = self.basic[r];
+                self.beta[b] += akj * theta;
+            }
+        }
+        self.pivot(bi, xi, xj);
+    }
+
+    /// Pivots basic `xi` (row `bi`) with nonbasic `xj`.
+    fn pivot(&mut self, bi: usize, xi: usize, xj: usize) {
+        let mut row = std::mem::take(&mut self.rows[bi]);
+        let aij = row.remove(&xj).expect("pivot coefficient");
+        // xi = aij*xj + rest  =>  xj = (1/aij)*xi - rest/aij
+        let inv = aij.recip();
+        let mut newrow: HashMap<usize, Rat> = HashMap::new();
+        newrow.insert(xi, inv);
+        for (w, c) in row {
+            newrow.insert(w, -(c * inv));
+        }
+        // Substitute into every other row mentioning xj.
+        for r in 0..self.rows.len() {
+            if r == bi {
+                continue;
+            }
+            if let Some(c) = self.rows[r].remove(&xj) {
+                for (w, cw) in &newrow {
+                    let e = self.rows[r].entry(*w).or_insert(Rat::ZERO);
+                    *e += c * *cw;
+                    if e.is_zero() {
+                        let w = *w;
+                        self.rows[r].remove(&w);
+                    }
+                }
+            }
+        }
+        self.rows[bi] = newrow;
+        self.basic[bi] = xj;
+        self.row_of.remove(&xi);
+        self.row_of.insert(xj, bi);
+    }
+
+    /// Decides rational feasibility.
+    pub fn check(&mut self) -> LpResult {
+        loop {
+            // Find the basic variable with the smallest index violating a
+            // bound (Bland's rule).
+            let mut viol: Option<(usize, usize, bool)> = None; // (row, var, need_increase)
+            for (r, &b) in self.basic.iter().enumerate() {
+                if let Some(l) = self.lower[b] {
+                    if self.beta[b] < l && viol.map_or(true, |(_, v, _)| b < v) {
+                        viol = Some((r, b, true));
+                    }
+                }
+                if let Some(u) = self.upper[b] {
+                    if self.beta[b] > u && viol.map_or(true, |(_, v, _)| b < v) {
+                        viol = Some((r, b, false));
+                    }
+                }
+            }
+            let Some((r, xi, increase)) = viol else {
+                return LpResult::Sat;
+            };
+            let target = if increase {
+                self.lower[xi].expect("violated lower bound")
+            } else {
+                self.upper[xi].expect("violated upper bound")
+            };
+            // Find an admissible nonbasic variable (smallest index).
+            let mut choice: Option<usize> = None;
+            for (&xj, &a) in &self.rows[r] {
+                let ok = if increase {
+                    (a.is_positive() && self.upper[xj].map_or(true, |u| self.beta[xj] < u))
+                        || (a.is_negative()
+                            && self.lower[xj].map_or(true, |l| self.beta[xj] > l))
+                } else {
+                    (a.is_negative() && self.upper[xj].map_or(true, |u| self.beta[xj] < u))
+                        || (a.is_positive()
+                            && self.lower[xj].map_or(true, |l| self.beta[xj] > l))
+                };
+                if ok && choice.map_or(true, |c| xj < c) {
+                    choice = Some(xj);
+                }
+            }
+            let Some(xj) = choice else {
+                return LpResult::Unsat;
+            };
+            self.pivot_and_update(r, xi, xj, target);
+        }
+    }
+
+    /// Decides integer feasibility by branch-and-bound with a node budget.
+    ///
+    /// Returns `Sat` when the budget is exhausted (conservative for the
+    /// verifier: a "sat" answer can only *weaken* what it proves).
+    pub fn check_int(&mut self) -> LpResult {
+        let mut budget = 400usize;
+        self.check_int_rec(&mut budget)
+    }
+
+    fn check_int_rec(&mut self, budget: &mut usize) -> LpResult {
+        if self.check() == LpResult::Unsat {
+            return LpResult::Unsat;
+        }
+        // Find an integer variable with a fractional value.
+        let frac = (0..self.nvars)
+            .find(|&v| self.is_int[v] && !self.beta[v].is_integer());
+        let Some(v) = frac else {
+            return LpResult::Sat;
+        };
+        if *budget == 0 {
+            return LpResult::Sat; // budget exhausted: conservative
+        }
+        *budget -= 1;
+        let val = self.beta[v];
+        // Branch: v <= floor(val).
+        let mut left = self.clone();
+        if left.assert_upper(v, val.floor()) && left.check_int_rec(budget) == LpResult::Sat {
+            return LpResult::Sat;
+        }
+        // Branch: v >= ceil(val).
+        let mut right = self.clone();
+        if right.assert_lower(v, val.ceil()) && right.check_int_rec(budget) == LpResult::Sat {
+            return LpResult::Sat;
+        }
+        LpResult::Unsat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64) -> Rat {
+        Rat::from_int(n)
+    }
+
+    #[test]
+    fn trivial_bounds() {
+        let mut s = Simplex::new();
+        let x = s.new_var(true);
+        assert!(s.assert_lower(x, r(1)));
+        assert!(s.assert_upper(x, r(5)));
+        assert_eq!(s.check(), LpResult::Sat);
+        assert!(s.value(x) >= r(1) && s.value(x) <= r(5));
+    }
+
+    #[test]
+    fn contradictory_bounds() {
+        let mut s = Simplex::new();
+        let x = s.new_var(true);
+        assert!(s.assert_lower(x, r(3)));
+        assert!(!s.assert_upper(x, r(2)));
+    }
+
+    #[test]
+    fn row_feasibility() {
+        // x + y <= 4, x >= 3, y >= 2 is infeasible.
+        let mut s = Simplex::new();
+        let x = s.new_var(true);
+        let y = s.new_var(true);
+        let sl = s.add_row(&[(x, r(1)), (y, r(1))]);
+        assert!(s.assert_upper(sl, r(4)));
+        assert!(s.assert_lower(x, r(3)));
+        assert!(s.assert_lower(y, r(2)));
+        assert_eq!(s.check(), LpResult::Unsat);
+    }
+
+    #[test]
+    fn row_feasible_case() {
+        // x + y <= 4, x >= 1, y >= 2 is feasible.
+        let mut s = Simplex::new();
+        let x = s.new_var(true);
+        let y = s.new_var(true);
+        let sl = s.add_row(&[(x, r(1)), (y, r(1))]);
+        assert!(s.assert_upper(sl, r(4)));
+        assert!(s.assert_lower(x, r(1)));
+        assert!(s.assert_lower(y, r(2)));
+        assert_eq!(s.check(), LpResult::Sat);
+        assert!(s.value(x) + s.value(y) <= r(4));
+    }
+
+    #[test]
+    fn equality_chain() {
+        // x = y + 1, y = z + 1, x = z  is infeasible.
+        let mut s = Simplex::new();
+        let x = s.new_var(true);
+        let y = s.new_var(true);
+        let z = s.new_var(true);
+        let r1 = s.add_row(&[(x, r(1)), (y, r(-1))]); // x - y = 1
+        assert!(s.assert_lower(r1, r(1)) && s.assert_upper(r1, r(1)));
+        let r2 = s.add_row(&[(y, r(1)), (z, r(-1))]); // y - z = 1
+        assert!(s.assert_lower(r2, r(1)) && s.assert_upper(r2, r(1)));
+        let r3 = s.add_row(&[(x, r(1)), (z, r(-1))]); // x - z = 0
+        assert!(s.assert_lower(r3, r(0)) && s.assert_upper(r3, r(0)));
+        assert_eq!(s.check(), LpResult::Unsat);
+    }
+
+    #[test]
+    fn integer_infeasible_rational_feasible() {
+        // 2x = 1 has the rational solution x = 1/2 but no integer one.
+        let mut s = Simplex::new();
+        let x = s.new_var(true);
+        let row = s.add_row(&[(x, r(2))]);
+        assert!(s.assert_lower(row, r(1)) && s.assert_upper(row, r(1)));
+        assert_eq!(s.check(), LpResult::Sat);
+        assert_eq!(s.check_int(), LpResult::Unsat);
+    }
+
+    #[test]
+    fn integer_branching_finds_solution() {
+        // 2x + 2y = 4 with 0 <= x,y has integer solutions.
+        let mut s = Simplex::new();
+        let x = s.new_var(true);
+        let y = s.new_var(true);
+        let row = s.add_row(&[(x, r(2)), (y, r(2))]);
+        assert!(s.assert_lower(row, r(4)) && s.assert_upper(row, r(4)));
+        assert!(s.assert_lower(x, r(0)));
+        assert!(s.assert_lower(y, r(0)));
+        assert_eq!(s.check_int(), LpResult::Sat);
+    }
+
+    #[test]
+    fn strict_style_tightened_bounds() {
+        // Encodes x < y ∧ y < x + 1 over ints as x <= y-1, y <= x:
+        // infeasible.
+        let mut s = Simplex::new();
+        let x = s.new_var(true);
+        let y = s.new_var(true);
+        let d1 = s.add_row(&[(x, r(1)), (y, r(-1))]); // x - y
+        assert!(s.assert_upper(d1, r(-1)));
+        let d2 = s.add_row(&[(y, r(1)), (x, r(-1))]); // y - x
+        assert!(s.assert_upper(d2, r(0)));
+        assert_eq!(s.check(), LpResult::Unsat);
+    }
+
+    #[test]
+    fn add_row_over_basic_variable() {
+        // Rows built on top of earlier slack variables still solve.
+        let mut s = Simplex::new();
+        let x = s.new_var(true);
+        let y = s.new_var(true);
+        let s1 = s.add_row(&[(x, r(1)), (y, r(1))]);
+        let s2 = s.add_row(&[(s1, r(1)), (x, r(1))]); // 2x + y
+        assert!(s.assert_lower(s2, r(10)));
+        assert!(s.assert_upper(x, r(2)));
+        assert!(s.assert_upper(y, r(2)));
+        // 2x + y <= 6 < 10: infeasible.
+        assert_eq!(s.check(), LpResult::Unsat);
+    }
+}

@@ -1,0 +1,373 @@
+//! Hash-consed first-order terms shared by the theory solvers.
+//!
+//! `logic::Expr` trees are flattened into a term DAG. Interpreted
+//! structure (linear arithmetic) is split off into [`LinExpr`]s whose
+//! "atoms" are ids of non-arithmetic terms; everything else (measures,
+//! `Sel`/`Upd`, set constructors, non-linear products) becomes an
+//! uninterpreted application handled by congruence closure.
+
+use crate::Rat;
+use dsolve_logic::{Binop, Expr, Sort, SortEnv, Symbol};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Identifier of a hash-consed term in a [`TermArena`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub(crate) u32);
+
+impl TermId {
+    /// Index form, for dense arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A flattened term node.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// Integer constant.
+    Int(i64),
+    /// Boolean constant (an EUF individual; `true ≠ false` is built in).
+    Bool(bool),
+    /// Free variable with its sort.
+    Var(Symbol, Sort),
+    /// Uninterpreted application (measures, `Sel`, `Upd`, set ops,
+    /// non-linear arithmetic). Reserved head symbols are produced by
+    /// [`TermArena::flatten`]: `$sel`, `$upd`, `$union`, `$single`,
+    /// `$empty`, `$mul`, `$div`, `$mod`, `$in`.
+    App(Symbol, Vec<TermId>),
+}
+
+/// Arena of hash-consed terms.
+#[derive(Default)]
+pub struct TermArena {
+    terms: Vec<Term>,
+    sorts: Vec<Sort>,
+    dedup: HashMap<Term, TermId>,
+}
+
+impl TermArena {
+    /// Creates an empty arena.
+    pub fn new() -> TermArena {
+        TermArena::default()
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Interns a term with an explicit sort.
+    pub fn intern(&mut self, t: Term, sort: Sort) -> TermId {
+        if let Some(&id) = self.dedup.get(&t) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("term arena overflow"));
+        self.dedup.insert(t.clone(), id);
+        self.terms.push(t);
+        self.sorts.push(sort);
+        id
+    }
+
+    /// The node for `id`.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// The sort of `id`.
+    pub fn sort(&self, id: TermId) -> &Sort {
+        &self.sorts[id.index()]
+    }
+
+    /// All ids, in creation order.
+    pub fn ids(&self) -> impl Iterator<Item = TermId> {
+        (0..self.terms.len() as u32).map(TermId)
+    }
+
+    /// Flattens a `logic` expression into the arena.
+    ///
+    /// `Ite` must have been eliminated by preprocessing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Expr::Ite` (the solver lifts those first) and on
+    /// variables missing from `env` (callers bind every free variable).
+    pub fn flatten(&mut self, e: &Expr, env: &SortEnv) -> TermId {
+        match e {
+            Expr::Int(v) => self.intern(Term::Int(*v), Sort::Int),
+            Expr::Bool(b) => self.intern(Term::Bool(*b), Sort::Bool),
+            Expr::Var(x) => {
+                let sort = env
+                    .sort_of_var(*x)
+                    .cloned()
+                    .unwrap_or_else(|| panic!("unbound variable `{x}` reached the solver"));
+                self.intern(Term::Var(*x, sort.clone()), sort)
+            }
+            Expr::Neg(a) => {
+                // -a = 0 - a; keep arithmetic interpreted via LinExpr, but
+                // when an arena term is needed, represent as $mul(-1, a).
+                let ta = self.flatten(a, env);
+                let m1 = self.intern(Term::Int(-1), Sort::Int);
+                self.intern(Term::App(Symbol::new("$mul"), vec![m1, ta]), Sort::Int)
+            }
+            Expr::Binop(op, a, b) => {
+                let ta = self.flatten(a, env);
+                let tb = self.flatten(b, env);
+                let head = match op {
+                    Binop::Add => "$add",
+                    Binop::Sub => "$sub",
+                    Binop::Mul => "$mul",
+                    Binop::Div => "$div",
+                    Binop::Mod => "$mod",
+                };
+                self.intern(Term::App(Symbol::new(head), vec![ta, tb]), Sort::Int)
+            }
+            Expr::Ite(..) => panic!("Ite must be eliminated before flattening"),
+            Expr::App(f, args) => {
+                let targs: Vec<TermId> = args.iter().map(|a| self.flatten(a, env)).collect();
+                let ret = env
+                    .sort_of_func(*f)
+                    .map(|fs| fs.ret.clone())
+                    .unwrap_or(Sort::Obj(Symbol::new("unknown")));
+                self.intern(Term::App(*f, targs), ret)
+            }
+            Expr::Sel(m, i) => {
+                let tm = self.flatten(m, env);
+                let ti = self.flatten(i, env);
+                self.intern(Term::App(Symbol::new("$sel"), vec![tm, ti]), Sort::Int)
+            }
+            Expr::Upd(m, i, v) => {
+                let tm = self.flatten(m, env);
+                let ti = self.flatten(i, env);
+                let tv = self.flatten(v, env);
+                self.intern(Term::App(Symbol::new("$upd"), vec![tm, ti, tv]), Sort::Map)
+            }
+            Expr::SetEmpty => self.intern(Term::App(Symbol::new("$empty"), vec![]), Sort::Set),
+            Expr::SetSingle(x) => {
+                let tx = self.flatten(x, env);
+                self.intern(Term::App(Symbol::new("$single"), vec![tx]), Sort::Set)
+            }
+            Expr::SetUnion(a, b) => {
+                let ta = self.flatten(a, env);
+                let tb = self.flatten(b, env);
+                self.intern(Term::App(Symbol::new("$union"), vec![ta, tb]), Sort::Set)
+            }
+        }
+    }
+
+    /// Linearizes an integer expression into `constant + Σ coeff·atom`.
+    ///
+    /// Non-arithmetic subterms (variables, applications) become atoms keyed
+    /// by their arena id; products with a constant side distribute, other
+    /// products fall back to an uninterpreted `$mul` atom.
+    pub fn linearize(&mut self, e: &Expr, env: &SortEnv) -> LinExpr {
+        match e {
+            Expr::Int(v) => LinExpr::constant(Rat::from_int(*v)),
+            Expr::Neg(a) => self.linearize(a, env).scale(Rat::from_int(-1)),
+            Expr::Binop(Binop::Add, a, b) => {
+                let mut la = self.linearize(a, env);
+                la.add_assign(&self.linearize(b, env));
+                la
+            }
+            Expr::Binop(Binop::Sub, a, b) => {
+                let mut la = self.linearize(a, env);
+                la.add_assign(&self.linearize(b, env).scale(Rat::from_int(-1)));
+                la
+            }
+            Expr::Binop(Binop::Mul, a, b) => {
+                let la = self.linearize(a, env);
+                let lb = self.linearize(b, env);
+                if let Some(c) = la.as_constant() {
+                    lb.scale(c)
+                } else if let Some(c) = lb.as_constant() {
+                    la.scale(c)
+                } else {
+                    // Non-linear: opaque atom.
+                    let id = self.flatten(e, env);
+                    LinExpr::atom(id)
+                }
+            }
+            Expr::Binop(Binop::Div | Binop::Mod, _, _) => {
+                let id = self.flatten(e, env);
+                LinExpr::atom(id)
+            }
+            _ => {
+                let id = self.flatten(e, env);
+                LinExpr::atom(id)
+            }
+        }
+    }
+
+    /// Renders a term for diagnostics.
+    pub fn display(&self, id: TermId) -> String {
+        match self.term(id) {
+            Term::Int(v) => v.to_string(),
+            Term::Bool(b) => b.to_string(),
+            Term::Var(x, _) => x.to_string(),
+            Term::App(f, args) => {
+                let parts: Vec<String> = args.iter().map(|a| self.display(*a)).collect();
+                format!("{f}({})", parts.join(", "))
+            }
+        }
+    }
+}
+
+impl fmt::Debug for TermArena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TermArena[{} terms]", self.terms.len())
+    }
+}
+
+/// A linear combination `constant + Σ coeff·atom` over term atoms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinExpr {
+    /// Constant offset.
+    pub constant: Rat,
+    /// Coefficients per atom id (no zero coefficients are stored).
+    pub terms: BTreeMap<TermId, Rat>,
+}
+
+impl LinExpr {
+    /// The constant linear expression.
+    pub fn constant(c: Rat) -> LinExpr {
+        LinExpr {
+            constant: c,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// A single atom with coefficient one.
+    pub fn atom(id: TermId) -> LinExpr {
+        let mut terms = BTreeMap::new();
+        terms.insert(id, Rat::ONE);
+        LinExpr {
+            constant: Rat::ZERO,
+            terms,
+        }
+    }
+
+    /// If the expression is a constant, returns it.
+    pub fn as_constant(&self) -> Option<Rat> {
+        if self.terms.is_empty() {
+            Some(self.constant)
+        } else {
+            None
+        }
+    }
+
+    /// Scales by a rational.
+    #[must_use]
+    pub fn scale(mut self, c: Rat) -> LinExpr {
+        if c.is_zero() {
+            return LinExpr::constant(Rat::ZERO);
+        }
+        self.constant = self.constant * c;
+        for v in self.terms.values_mut() {
+            *v = *v * c;
+        }
+        self
+    }
+
+    /// Adds another linear expression in place.
+    pub fn add_assign(&mut self, other: &LinExpr) {
+        self.constant += other.constant;
+        for (id, c) in &other.terms {
+            let entry = self.terms.entry(*id).or_insert(Rat::ZERO);
+            *entry += *c;
+            if entry.is_zero() {
+                self.terms.remove(id);
+            }
+        }
+    }
+
+    /// `self - other`.
+    #[must_use]
+    pub fn minus(&self, other: &LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        out.add_assign(&other.clone().scale(Rat::from_int(-1)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsolve_logic::parse_expr;
+
+    fn env() -> SortEnv {
+        let mut env = SortEnv::new();
+        for v in ["x", "y", "z", "i", "j"] {
+            env.bind(Symbol::new(v), Sort::Int);
+        }
+        env.bind(Symbol::new("m"), Sort::Map);
+        env
+    }
+
+    #[test]
+    fn hash_consing_dedupes() {
+        let mut a = TermArena::new();
+        let env = env();
+        let e = parse_expr("x + y").unwrap();
+        let t1 = a.flatten(&e, &env);
+        let t2 = a.flatten(&e, &env);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn linearize_combines_terms() {
+        let mut a = TermArena::new();
+        let env = env();
+        let e = parse_expr("x + 2 * x + 3 - 1").unwrap();
+        let l = a.linearize(&e, &env);
+        assert_eq!(l.constant, Rat::from_int(2));
+        assert_eq!(l.terms.len(), 1);
+        let coeff = *l.terms.values().next().unwrap();
+        assert_eq!(coeff, Rat::from_int(3));
+    }
+
+    #[test]
+    fn linearize_cancellation() {
+        let mut a = TermArena::new();
+        let env = env();
+        let e = parse_expr("x - x").unwrap();
+        let l = a.linearize(&e, &env);
+        assert_eq!(l.as_constant(), Some(Rat::ZERO));
+    }
+
+    #[test]
+    fn nonlinear_becomes_atom() {
+        let mut a = TermArena::new();
+        let env = env();
+        let e = parse_expr("x * y").unwrap();
+        let l = a.linearize(&e, &env);
+        assert!(l.as_constant().is_none());
+        assert_eq!(l.terms.len(), 1);
+        let (id, _) = l.terms.iter().next().unwrap();
+        assert!(matches!(a.term(*id), Term::App(f, _) if f.as_str() == "$mul"));
+    }
+
+    #[test]
+    fn sel_is_an_int_atom() {
+        let mut a = TermArena::new();
+        let env = env();
+        let e = parse_expr("Sel(m, i) + 1").unwrap();
+        let l = a.linearize(&e, &env);
+        assert_eq!(l.constant, Rat::from_int(1));
+        assert_eq!(l.terms.len(), 1);
+    }
+
+    #[test]
+    fn minus_subtracts() {
+        let mut a = TermArena::new();
+        let env = env();
+        let l1 = a.linearize(&parse_expr("x + 3").unwrap(), &env);
+        let l2 = a.linearize(&parse_expr("x + 1").unwrap(), &env);
+        let d = l1.minus(&l2);
+        assert_eq!(d.as_constant(), Some(Rat::from_int(2)));
+    }
+}

@@ -1,0 +1,423 @@
+//! Theory combination: EUF + linear integer arithmetic (+ ground arrays
+//! and canonicalized sets riding on EUF).
+//!
+//! A full propositional model is checked by asserting each theory atom to
+//! the congruence closure and/or the simplex and propagating equalities
+//! between the two in a Nelson–Oppen style loop:
+//!
+//! * EUF-derived equalities over shared integer terms become simplex rows;
+//! * simplex-implied equalities (pairs that can be separated in neither
+//!   direction) are pushed back into EUF.
+//!
+//! On conflict, a small core is extracted by greedy deletion-based
+//! minimization (theory checks at this scale are microseconds, so
+//! re-checking subsets is cheaper than proof-producing engines).
+
+use crate::cnf::{Atom, AtomId, Atoms};
+use crate::euf::{Euf, EufResult};
+use crate::simplex::{LpResult, Simplex};
+use crate::term::{Term, TermId};
+use crate::Rat;
+use dsolve_logic::Sort;
+use std::collections::{HashMap, HashSet};
+
+/// Outcome of a theory check over a full assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TheoryResult {
+    /// The assignment is theory-consistent.
+    Sat,
+    /// Conflict; the payload lists indices into the assignment slice that
+    /// together are inconsistent (a minimized core).
+    Unsat(Vec<usize>),
+}
+
+/// Checks a full atom assignment for theory consistency.
+///
+/// `minimize` requests deletion-based core minimization; callers skip it
+/// when one blocking clause of any size already ends the search (purely
+/// conjunctive queries).
+pub fn check_assignment(
+    atoms: &Atoms,
+    assignment: &[(AtomId, bool)],
+    minimize: bool,
+) -> TheoryResult {
+    let all: Vec<usize> = (0..assignment.len()).collect();
+    if consistent(atoms, assignment, &all) {
+        return TheoryResult::Sat;
+    }
+    if !minimize {
+        return TheoryResult::Unsat(all);
+    }
+    // Chunked deletion minimization: drop halves while the conflict
+    // persists, then shrink the chunk size — O(core·log n) checks
+    // instead of O(n) for the typical small core.
+    let mut core = all;
+    let mut chunk = (core.len() / 2).max(1);
+    while chunk >= 1 {
+        let mut i = 0;
+        while i < core.len() {
+            let hi = (i + chunk).min(core.len());
+            let mut trial = Vec::with_capacity(core.len());
+            trial.extend_from_slice(&core[..i]);
+            trial.extend_from_slice(&core[hi..]);
+            if !consistent(atoms, assignment, &trial) {
+                core = trial;
+            } else {
+                i = hi;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    TheoryResult::Unsat(core)
+}
+
+/// Whether the subset (`indices` into `assignment`) is theory-consistent.
+fn consistent(atoms: &Atoms, assignment: &[(AtomId, bool)], indices: &[usize]) -> bool {
+    let arena = &atoms.arena;
+    let mut euf = Euf::new(arena);
+    let mut simplex = Simplex::new();
+    let mut var_of: HashMap<TermId, usize> = HashMap::new();
+    let mut shared: Vec<TermId> = Vec::new();
+
+    let mut sx_var = |simplex: &mut Simplex,
+                      var_of: &mut HashMap<TermId, usize>,
+                      shared: &mut Vec<TermId>,
+                      t: TermId|
+     -> usize {
+        *var_of.entry(t).or_insert_with(|| {
+            let is_int = *arena.sort(t) == Sort::Int;
+            let v = simplex.new_var(is_int);
+            shared.push(t);
+            v
+        })
+    };
+
+    // Pre-seed integer constants so implied equalities with literals are
+    // discoverable (e.g. x ≤ 0 ∧ x ≥ 0 ⟹ x = 0 reaching EUF).
+    for t in arena.ids() {
+        if let Term::Int(k) = arena.term(t) {
+            let v = sx_var(&mut simplex, &mut var_of, &mut shared, t);
+            let ok = simplex.assert_lower(v, Rat::from_int(*k))
+                && simplex.assert_upper(v, Rat::from_int(*k));
+            debug_assert!(ok, "constant bounds are consistent");
+        }
+    }
+
+    let true_id = atoms.bool_const(true);
+    let false_id = atoms.bool_const(false);
+
+    // Assert each literal to the relevant solver(s).
+    let mut diseq_terms: Vec<TermId> = Vec::new();
+    for &ix in indices {
+        let (aid, val) = assignment[ix];
+        match atoms.atom(aid) {
+            Atom::Eq { a, b, lin } => {
+                if val {
+                    euf.assert_eq(*a, *b);
+                    if let Some(lin) = lin {
+                        if !assert_lin_eq(&mut simplex, &mut var_of, &mut shared, lin, &mut sx_var)
+                        {
+                            return false;
+                        }
+                    }
+                } else {
+                    euf.assert_ne(*a, *b);
+                    diseq_terms.push(*a);
+                    diseq_terms.push(*b);
+                }
+            }
+            Atom::IntLe(lin) => {
+                let bound_ok = if val {
+                    // lin ≤ 0
+                    assert_lin_le(&mut simplex, &mut var_of, &mut shared, lin, &mut sx_var)
+                } else {
+                    // ¬(lin ≤ 0) ⟺ lin ≥ 1 over integers.
+                    let neg = lin.clone().scale(Rat::from_int(-1));
+                    let mut neg = neg;
+                    neg.constant += Rat::ONE;
+                    assert_lin_le(&mut simplex, &mut var_of, &mut shared, &neg, &mut sx_var)
+                };
+                if !bound_ok {
+                    return false;
+                }
+            }
+            Atom::BoolTerm(t) => {
+                let target = if val { true_id } else { false_id };
+                euf.assert_eq(*t, target);
+            }
+        }
+    }
+
+    // Nelson–Oppen propagation loop.
+    let mut sent_to_simplex: HashSet<(TermId, TermId)> = HashSet::new();
+    loop {
+        if euf.check() == EufResult::Unsat {
+            return false;
+        }
+        // EUF → simplex.
+        let mut changed = false;
+        for (a, b) in euf.equalities_among(&shared) {
+            let key = if a <= b { (a, b) } else { (b, a) };
+            if sent_to_simplex.insert(key) {
+                let va = var_of[&a];
+                let vb = var_of[&b];
+                let row = simplex.add_row(&[(va, Rat::ONE), (vb, Rat::from_int(-1))]);
+                if !(simplex.assert_lower(row, Rat::ZERO)
+                    && simplex.assert_upper(row, Rat::ZERO))
+                {
+                    return false;
+                }
+                changed = true;
+            }
+        }
+        if simplex.check_int() == LpResult::Unsat {
+            return false;
+        }
+        // Simplex → EUF: implied equalities among shared terms. Only
+        // pairs EUF could *use* matter: arguments of uninterpreted
+        // applications and sides of disequalities.
+        let mut new_eq = false;
+        let mut interesting = interesting_terms(arena);
+        interesting.extend(diseq_terms.iter().copied());
+        let candidates: Vec<TermId> = shared
+            .iter()
+            .copied()
+            .filter(|t| interesting.contains(t))
+            .collect();
+        for i in 0..candidates.len() {
+            for j in (i + 1)..candidates.len() {
+                let (a, b) = (candidates[i], candidates[j]);
+                if euf.same_class(a, b) {
+                    continue;
+                }
+                let (va, vb) = (var_of[&a], var_of[&b]);
+                if simplex.value(va) != simplex.value(vb) {
+                    continue;
+                }
+                if !separable(&simplex, va, vb) {
+                    euf.assert_eq(a, b);
+                    new_eq = true;
+                }
+            }
+        }
+        if !new_eq && !changed {
+            return true;
+        }
+        if !new_eq && changed {
+            // Equalities were forwarded but nothing came back; one more
+            // euf/simplex round settles it.
+            continue;
+        }
+    }
+}
+
+/// Terms whose discovered equalities can advance congruence closure:
+/// arguments of applications, plus every constant (so `x = 3` facts
+/// propagate).
+fn interesting_terms(arena: &crate::TermArena) -> std::collections::HashSet<TermId> {
+    let mut out = std::collections::HashSet::new();
+    for id in arena.ids() {
+        match arena.term(id) {
+            Term::App(_, args) => {
+                for a in args {
+                    out.insert(*a);
+                }
+            }
+            Term::Int(_) => {
+                out.insert(id);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Whether `va` and `vb` can take different values (tested in both strict
+/// directions over the rationals; rational inseparability implies integer
+/// equality).
+fn separable(simplex: &Simplex, va: usize, vb: usize) -> bool {
+    for (lo, hi) in [(va, vb), (vb, va)] {
+        let mut s = simplex.clone();
+        let row = s.add_row(&[(lo, Rat::ONE), (hi, Rat::from_int(-1))]);
+        // lo - hi <= -1 (integer separation; all our terms are integers).
+        if s.assert_upper(row, Rat::from_int(-1)) && s.check() == LpResult::Sat {
+            return true;
+        }
+    }
+    false
+}
+
+fn assert_lin_le(
+    simplex: &mut Simplex,
+    var_of: &mut HashMap<TermId, usize>,
+    shared: &mut Vec<TermId>,
+    lin: &crate::LinExpr,
+    sx_var: &mut impl FnMut(&mut Simplex, &mut HashMap<TermId, usize>, &mut Vec<TermId>, TermId) -> usize,
+) -> bool {
+    if let Some(c) = lin.as_constant() {
+        return c <= Rat::ZERO;
+    }
+    let combo: Vec<(usize, Rat)> = lin
+        .terms
+        .iter()
+        .map(|(t, c)| (sx_var(simplex, var_of, shared, *t), *c))
+        .collect();
+    let row = simplex.add_row(&combo);
+    simplex.assert_upper(row, -lin.constant)
+}
+
+fn assert_lin_eq(
+    simplex: &mut Simplex,
+    var_of: &mut HashMap<TermId, usize>,
+    shared: &mut Vec<TermId>,
+    lin: &crate::LinExpr,
+    sx_var: &mut impl FnMut(&mut Simplex, &mut HashMap<TermId, usize>, &mut Vec<TermId>, TermId) -> usize,
+) -> bool {
+    if let Some(c) = lin.as_constant() {
+        return c.is_zero();
+    }
+    let combo: Vec<(usize, Rat)> = lin
+        .terms
+        .iter()
+        .map(|(t, c)| (sx_var(simplex, var_of, shared, *t), *c))
+        .collect();
+    let row = simplex.add_row(&combo);
+    simplex.assert_upper(row, -lin.constant) && simplex.assert_lower(row, -lin.constant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsolve_logic::{parse_pred, Pred, SortEnv, Symbol};
+
+    fn lits_of(preds: &[&str], env: &SortEnv) -> (Atoms, Vec<(AtomId, bool)>) {
+        let mut atoms = Atoms::new();
+        let mut out = Vec::new();
+        for s in preds {
+            let p = parse_pred(s).unwrap();
+            match p {
+                Pred::Atom(rel, a, b) => {
+                    let (id, pos) = atoms.atom_of_rel(rel, &a, &b, env);
+                    out.push((id, pos));
+                }
+                Pred::Not(inner) => {
+                    let Pred::Atom(rel, a, b) = *inner else { panic!() };
+                    let (id, pos) = atoms.atom_of_rel(rel, &a, &b, env);
+                    out.push((id, !pos));
+                }
+                Pred::Term(e) => {
+                    let id = atoms.atom_of_term(&e, env);
+                    out.push((id, true));
+                }
+                _ => panic!("test literals must be atoms"),
+            }
+        }
+        (atoms, out)
+    }
+
+    fn env() -> SortEnv {
+        let mut env = SortEnv::new();
+        for v in ["x", "y", "z", "w"] {
+            env.bind(Symbol::new(v), Sort::Int);
+        }
+        env.bind(Symbol::new("p"), Sort::Obj(Symbol::new("t")));
+        env.bind(Symbol::new("q"), Sort::Obj(Symbol::new("t")));
+        env.declare_func(
+            Symbol::new("f"),
+            dsolve_logic::FuncSort::new(vec![Sort::Int], Sort::Int),
+        );
+        env
+    }
+
+    #[test]
+    fn arithmetic_conflict() {
+        let env = env();
+        let (atoms, lits) = lits_of(&["x < y", "y < x"], &env);
+        assert!(matches!(
+            check_assignment(&atoms, &lits, true),
+            TheoryResult::Unsat(_)
+        ));
+    }
+
+    #[test]
+    fn arithmetic_sat() {
+        let env = env();
+        let (atoms, lits) = lits_of(&["x < y", "y < z"], &env);
+        assert_eq!(check_assignment(&atoms, &lits, true), TheoryResult::Sat);
+    }
+
+    #[test]
+    fn euf_congruence_conflict() {
+        let env = env();
+        let (atoms, lits) = lits_of(&["x = y", "f(x) != f(y)"], &env);
+        assert!(matches!(
+            check_assignment(&atoms, &lits, true),
+            TheoryResult::Unsat(_)
+        ));
+    }
+
+    #[test]
+    fn cross_theory_equality_propagation() {
+        // x <= y, y <= x (arith) forces x = y, so f(x) != f(y) conflicts.
+        let env = env();
+        let (atoms, lits) = lits_of(&["x <= y", "y <= x", "f(x) != f(y)"], &env);
+        assert!(matches!(
+            check_assignment(&atoms, &lits, true),
+            TheoryResult::Unsat(_)
+        ));
+    }
+
+    #[test]
+    fn constant_equality_propagation() {
+        // x <= 0 and x >= 0 implies x = 0.
+        let env = env();
+        let (atoms, lits) = lits_of(&["x <= 0", "0 <= x", "x != 0"], &env);
+        assert!(matches!(
+            check_assignment(&atoms, &lits, true),
+            TheoryResult::Unsat(_)
+        ));
+    }
+
+    #[test]
+    fn equality_feeds_arithmetic() {
+        // x = y (EUF+lin), y < x is a conflict through the linear form.
+        let env = env();
+        let (atoms, lits) = lits_of(&["x = y", "y < x"], &env);
+        assert!(matches!(
+            check_assignment(&atoms, &lits, true),
+            TheoryResult::Unsat(_)
+        ));
+    }
+
+    #[test]
+    fn minimized_core_is_small() {
+        let env = env();
+        let (atoms, lits) = lits_of(&["x < y", "z < w", "y < x"], &env);
+        let TheoryResult::Unsat(core) = check_assignment(&atoms, &lits, true) else {
+            panic!("expected conflict");
+        };
+        // The z < w literal is irrelevant.
+        assert_eq!(core.len(), 2);
+        assert!(core.contains(&0) && core.contains(&2));
+    }
+
+    #[test]
+    fn obj_disequality_sat() {
+        let env = env();
+        let (atoms, lits) = lits_of(&["p != q"], &env);
+        assert_eq!(check_assignment(&atoms, &lits, true), TheoryResult::Sat);
+    }
+
+    #[test]
+    fn transitive_obj_equality_conflict() {
+        let env = env();
+        let (atoms, lits) = lits_of(&["p = q", "p != q"], &env);
+        assert!(matches!(
+            check_assignment(&atoms, &lits, true),
+            TheoryResult::Unsat(_)
+        ));
+    }
+}

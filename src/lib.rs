@@ -1,0 +1,6 @@
+//! Umbrella crate re-exporting the dsolve-rs workspace.
+pub use dsolve;
+pub use dsolve_liquid as liquid;
+pub use dsolve_logic as logic;
+pub use dsolve_nanoml as nanoml;
+pub use dsolve_smt as smt;
