@@ -3,14 +3,36 @@
 //! the paper's numbers for comparison.
 //!
 //! ```text
-//! cargo run --release -p dsolve-bench --bin figure10 [names...]
+//! cargo run --release -p dsolve-bench --bin figure10 [--timeout <secs>] [names...]
 //! ```
+//!
+//! Each benchmark runs under panic isolation: a pathological module
+//! reports `UNKNOWN (panic …)` and the suite keeps going. `--timeout`
+//! bounds every job's wall clock; exhausted budgets likewise surface as
+//! `UNKNOWN` rows instead of hanging the table.
 
-use dsolve::{Row, Table};
-use dsolve_bench::{run, BENCHMARKS};
+use dsolve::{JobError, Row, Status, Table};
+use dsolve_bench::{load, BENCHMARKS};
+use std::time::Duration;
 
 fn main() {
-    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let mut timeout: Option<u64> = None;
+    let mut filter: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--timeout" {
+            match args.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(secs) => timeout = Some(secs),
+                None => {
+                    eprintln!("figure10: --timeout needs a number of seconds");
+                    std::process::exit(3);
+                }
+            }
+        } else {
+            filter.push(a);
+        }
+    }
+
     let mut table = Table::new();
     println!("Reproducing Fig. 10 (paper numbers in brackets)\n");
     for b in BENCHMARKS {
@@ -18,22 +40,30 @@ fn main() {
             continue;
         }
         eprint!("verifying {:<12} ... ", b.name);
-        match run(b.name) {
+        let job = match load(b.name) {
+            Ok(mut j) => {
+                if let Some(secs) = timeout {
+                    j.config.budget.timeout = Some(Duration::from_secs(secs));
+                }
+                j
+            }
             Err(e) => {
-                eprintln!("front-end error: {e}");
-                table.push(Row {
-                    program: b.name.into(),
-                    loc: 0,
-                    annotations: 0,
-                    time: std::time::Duration::ZERO,
-                    properties: b.properties.into(),
-                    safe: false,
-                });
+                eprintln!("load error: {e}");
+                table.push(error_row(b.name, b.properties, &e));
+                continue;
+            }
+        };
+        match job.run_isolated() {
+            Err(e) => {
+                // One bad job (front-end error or isolated panic) must
+                // not take down the rest of the suite.
+                eprintln!("{e}");
+                table.push(error_row(b.name, b.properties, &e));
             }
             Ok(res) => {
                 eprintln!(
                     "{} in {:.1}s [paper: {}s]",
-                    if res.is_safe() { "SAFE" } else { "UNSAFE" },
+                    res.outcome(),
                     res.time.as_secs_f64(),
                     b.paper_time_s
                 );
@@ -56,5 +86,20 @@ fn main() {
     println!("{table}");
     if !table.all_safe() {
         std::process::exit(1);
+    }
+}
+
+fn error_row(name: &str, properties: &str, e: &JobError) -> Row {
+    let status = match e {
+        JobError::Panic(_) => Status::from(&e.outcome()),
+        _ => Status::Error(e.to_string()),
+    };
+    Row {
+        program: name.into(),
+        loc: 0,
+        annotations: 0,
+        time: Duration::ZERO,
+        properties: properties.into(),
+        status,
     }
 }

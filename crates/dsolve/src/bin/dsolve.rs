@@ -3,23 +3,26 @@
 //! ```text
 //! dsolve <module.ml> [--quals <file>] [--mlq <file>] [--annot]
 //!        [--annot-out <file>] [--stats]
+//!        [--timeout <secs>] [--max-smt-queries <n>]
 //! ```
 //!
 //! `--annot-out` writes the inferred liquid types to a `.annot` file, as
-//! the original DSOLVE did.
+//! the original DSOLVE did. `--timeout` and `--max-smt-queries` bound
+//! the run; an exhausted budget reports `UNKNOWN` with the reason.
 //!
 //! By default `<module>.quals` and `<module>.mlq` next to the module are
-//! used when present. Exit status: 0 = safe, 1 = verification errors,
-//! 2 = front-end errors or bad usage.
+//! used when present. Exit status: 0 = safe, 1 = unsafe, 2 = unknown
+//! (budget exhausted or isolated panic), 3 = front-end/spec errors or
+//! bad usage.
 
 use dsolve::{Job, JobError};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: dsolve <module.ml> [--quals <file>] [--mlq <file>] [--annot] [--annot-out <file>] [--stats]"
+        "usage: dsolve <module.ml> [--quals <file>] [--mlq <file>] [--annot] [--annot-out <file>] [--stats] [--timeout <secs>] [--max-smt-queries <n>]"
     );
-    ExitCode::from(2)
+    ExitCode::from(3)
 }
 
 fn main() -> ExitCode {
@@ -30,6 +33,8 @@ fn main() -> ExitCode {
     let mut annot = false;
     let mut annot_out: Option<String> = None;
     let mut stats = false;
+    let mut timeout: Option<u64> = None;
+    let mut max_smt_queries: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -47,6 +52,14 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--stats" => stats = true,
+            "--timeout" => match it.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(secs) => timeout = Some(secs),
+                None => return usage(),
+            },
+            "--max-smt-queries" => match it.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) => max_smt_queries = Some(n),
+                None => return usage(),
+            },
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -61,7 +74,7 @@ fn main() -> ExitCode {
         Ok(j) => j,
         Err(e) => {
             eprintln!("dsolve: {e}");
-            return ExitCode::from(2);
+            return ExitCode::from(3);
         }
     };
     if let Some(q) = quals {
@@ -69,7 +82,7 @@ fn main() -> ExitCode {
             Ok(s) => job.quals = s,
             Err(e) => {
                 eprintln!("dsolve: cannot read `{q}`: {e}");
-                return ExitCode::from(2);
+                return ExitCode::from(3);
             }
         }
     }
@@ -78,15 +91,26 @@ fn main() -> ExitCode {
             Ok(text) => job.mlq = text,
             Err(e) => {
                 eprintln!("dsolve: cannot read `{s}`: {e}");
-                return ExitCode::from(2);
+                return ExitCode::from(3);
             }
         }
     }
+    if let Some(secs) = timeout {
+        job.config.budget.timeout = Some(std::time::Duration::from_secs(secs));
+    }
+    if let Some(n) = max_smt_queries {
+        job.config.budget.max_smt_queries = Some(n);
+    }
 
-    match job.run() {
-        Err(e @ (JobError::Frontend(_) | JobError::Spec(_) | JobError::Io(_))) => {
-            eprintln!("dsolve: {e}");
+    match job.run_isolated() {
+        Err(e @ JobError::Panic(_)) => {
+            // An isolated panic is an Unknown verdict, not a crash.
+            println!("{}: {}", job.name, e.outcome());
             ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("dsolve: {e}");
+            ExitCode::from(3)
         }
         Ok(res) => {
             if annot || annot_out.is_some() {
@@ -107,24 +131,35 @@ fn main() -> ExitCode {
             }
             if stats {
                 eprintln!(
-                    "loc={} annotations={} constraints={} kvars={} smt_queries={} time={:.3}s",
+                    "loc={} annotations={} constraints={} kvars={} smt_queries={} time={:.3}s frontend={:.3}s gen={:.3}s fixpoint={:.3}s obligations={:.3}s",
                     res.loc,
                     res.annotations,
                     res.result.num_constraints,
                     res.result.stats.kvars,
                     res.result.stats.smt_queries,
-                    res.time.as_secs_f64()
+                    res.time.as_secs_f64(),
+                    res.frontend_time.as_secs_f64(),
+                    res.result.gen_time.as_secs_f64(),
+                    res.result.stats.fixpoint_time.as_secs_f64(),
+                    res.result.stats.obligation_time.as_secs_f64()
                 );
             }
-            if res.is_safe() {
-                println!("{}: SAFE", job.name);
-                ExitCode::SUCCESS
-            } else {
-                println!("{}: UNSAFE", job.name);
-                for e in &res.result.errors {
-                    println!("  {e}");
+            use dsolve_logic::Outcome;
+            println!("{}: {}", job.name, res.outcome());
+            match res.outcome() {
+                Outcome::Safe => ExitCode::SUCCESS,
+                Outcome::Unsafe => {
+                    for e in &res.result.errors {
+                        println!("  {e}");
+                    }
+                    ExitCode::from(1)
                 }
-                ExitCode::from(1)
+                Outcome::Unknown(_) => {
+                    for e in &res.result.errors {
+                        println!("  {e}");
+                    }
+                    ExitCode::from(2)
+                }
             }
         }
     }

@@ -4,9 +4,10 @@
 
 use crate::spec::{parse_mlq, parse_quals, SpecError, SpecFile};
 use dsolve_liquid::{builtin_schemes, MeasureEnv, SolveConfig, Verifier, VerifyResult};
-use dsolve_logic::{Qualifier, SortEnv};
+use dsolve_logic::{Exhaustion, Outcome, Phase, Qualifier, Resource, SortEnv};
 use dsolve_nanoml::{infer_program, parse_program, resolve_program, DataEnv};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -30,6 +31,9 @@ pub struct JobResult {
     pub result: VerifyResult,
     /// Wall-clock verification time (excludes parsing).
     pub time: Duration,
+    /// Wall-clock time in the front end (parse, resolve, HM inference,
+    /// spec processing).
+    pub frontend_time: Duration,
     /// Lines of code (non-blank, non-comment) in the module.
     pub loc: usize,
     /// Number of manual qualifier annotations.
@@ -39,13 +43,18 @@ pub struct JobResult {
 }
 
 impl JobResult {
-    /// Whether the module verified.
+    /// Whether the module verified within budget.
     pub fn is_safe(&self) -> bool {
         self.result.is_safe()
     }
+
+    /// The three-valued verdict.
+    pub fn outcome(&self) -> &Outcome {
+        &self.result.outcome
+    }
 }
 
-/// An error running a job (front-end failures).
+/// An error running a job (front-end failures and isolated panics).
 #[derive(Debug)]
 pub enum JobError {
     /// Parse/resolve/type error in the module.
@@ -54,6 +63,23 @@ pub enum JobError {
     Spec(SpecError),
     /// IO error loading files.
     Io(std::io::Error),
+    /// The job panicked and was isolated by [`Job::run_isolated`].
+    Panic(String),
+}
+
+impl JobError {
+    /// The outcome a failed job contributes to a report: front-end and
+    /// spec failures are definite errors, an isolated panic is `Unknown`.
+    pub fn outcome(&self) -> Outcome {
+        match self {
+            JobError::Panic(msg) => Outcome::Unknown(Exhaustion::with_detail(
+                Phase::Driver,
+                Resource::Panic,
+                msg.clone(),
+            )),
+            JobError::Frontend(_) | JobError::Spec(_) | JobError::Io(_) => Outcome::Unsafe,
+        }
+    }
 }
 
 impl fmt::Display for JobError {
@@ -62,6 +88,7 @@ impl fmt::Display for JobError {
             JobError::Frontend(m) => write!(f, "{m}"),
             JobError::Spec(e) => write!(f, "{e}"),
             JobError::Io(e) => write!(f, "io error: {e}"),
+            JobError::Panic(m) => write!(f, "panic: {m}"),
         }
     }
 }
@@ -135,6 +162,7 @@ impl Job {
     /// specs). Verification *failures* are reported in the result, not as
     /// errors.
     pub fn run(&self) -> Result<JobResult, JobError> {
+        let frontend_start = Instant::now();
         let prog = parse_program(&self.source).map_err(|e| JobError::Frontend(e.to_string()))?;
         let mut data = DataEnv::with_builtins();
         data.add_program(&prog.datatypes)
@@ -201,6 +229,7 @@ impl Job {
             .with_qualifiers(quals)
             .with_specs(spec_file.specs.clone())
             .with_config(self.config.clone());
+        let frontend_time = frontend_start.elapsed();
 
         let start = Instant::now();
         let result = verifier.verify(&typed);
@@ -209,9 +238,41 @@ impl Job {
         Ok(JobResult {
             result,
             time,
+            frontend_time,
             loc: self.loc(),
             annotations,
             measures: spec_file.measures.len(),
+        })
+    }
+
+    /// Runs the job with panic isolation: a panic anywhere in the
+    /// pipeline is caught and reported as [`JobError::Panic`], so a
+    /// suite driver can keep going after one pathological module.
+    ///
+    /// Setting the environment variable `DSOLVE_FORCE_PANIC` to the
+    /// job's name (or `*`) triggers a deliberate panic — a test hook for
+    /// exercising the isolation path end to end.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Job::run`] reports, plus `Panic` for caught panics.
+    pub fn run_isolated(&self) -> Result<JobResult, JobError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            if let Some(v) = std::env::var_os("DSOLVE_FORCE_PANIC") {
+                if v == std::ffi::OsStr::new(self.name.as_str()) || v == std::ffi::OsStr::new("*")
+                {
+                    panic!("DSOLVE_FORCE_PANIC requested for `{}`", self.name);
+                }
+            }
+            self.run()
+        }))
+        .unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_owned());
+            Err(JobError::Panic(msg))
         })
     }
 }
@@ -324,5 +385,43 @@ val insertsort : xs : 'a list -> {VV : 'a list @Sorted | elts(VV) = elts(xs)}
     fn frontend_errors_are_job_errors() {
         let job = Job::from_sources("bad", "let x = ", "", "");
         assert!(matches!(job.run(), Err(JobError::Frontend(_))));
+    }
+
+    #[test]
+    fn isolated_panic_is_reported_not_propagated() {
+        // The hook matches on the job name, so concurrent tests with
+        // other names are unaffected.
+        let job = Job::from_sources("panicky-test-job", "let one = 1\n", "", "");
+        std::env::set_var("DSOLVE_FORCE_PANIC", "panicky-test-job");
+        let r = job.run_isolated();
+        std::env::remove_var("DSOLVE_FORCE_PANIC");
+        match r {
+            Err(JobError::Panic(msg)) => {
+                assert!(msg.contains("panicky-test-job"), "{msg}");
+            }
+            other => panic!("expected Panic, got {:?}", other.map(|_| "JobResult")),
+        }
+        // The error maps to a machine-readable Unknown outcome.
+        let Err(e) = job.run_isolated() else {
+            // Hook cleared: the job now runs normally.
+            return;
+        };
+        panic!("unexpected error after clearing hook: {e}");
+    }
+
+    #[test]
+    fn tiny_deadline_yields_unknown_not_hang() {
+        let mut job = Job::from_sources(
+            "deadline",
+            "let f x = assert (x >= 0); x\nlet use = f 1\n",
+            "",
+            "qualif N : 0 <= VV\n",
+        );
+        job.config.budget = dsolve_logic::Budget::with_timeout(Duration::from_secs(0));
+        let res = job.run().unwrap();
+        let outcome = res.outcome();
+        let e = outcome.exhaustion().expect("unknown outcome");
+        assert_eq!(e.resource, Resource::Deadline);
+        assert!(!res.is_safe());
     }
 }

@@ -26,5 +26,5 @@ mod report;
 mod spec;
 
 pub use driver::{count_loc, Job, JobError, JobResult};
-pub use report::{Row, Table};
+pub use report::{Row, Status, Table};
 pub use spec::{map_witness, parse_mlq, parse_quals, scrape_qualifiers, RhoDef, SpecError, SpecFile};

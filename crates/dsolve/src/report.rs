@@ -1,8 +1,51 @@
 //! Figure-10-style reporting.
 
 use crate::driver::JobResult;
+use dsolve_logic::{Exhaustion, Outcome};
 use std::fmt;
 use std::time::Duration;
+
+/// The verdict column of a report row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Every obligation was proven within budget.
+    Safe,
+    /// At least one obligation failed with full budget available.
+    Unsafe,
+    /// A budget ran out (or a panic was isolated) before a definite
+    /// answer.
+    Unknown(Exhaustion),
+    /// The job never produced a verdict (front-end or spec error).
+    Error(String),
+}
+
+impl Status {
+    /// Whether the row verified.
+    pub fn is_safe(&self) -> bool {
+        matches!(self, Status::Safe)
+    }
+}
+
+impl From<&Outcome> for Status {
+    fn from(o: &Outcome) -> Status {
+        match o {
+            Outcome::Safe => Status::Safe,
+            Outcome::Unsafe => Status::Unsafe,
+            Outcome::Unknown(e) => Status::Unknown(e.clone()),
+        }
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Status::Safe => f.write_str("SAFE"),
+            Status::Unsafe => f.write_str("UNSAFE"),
+            Status::Unknown(e) => write!(f, "UNKNOWN ({e})"),
+            Status::Error(m) => write!(f, "ERROR ({m})"),
+        }
+    }
+}
 
 /// One row of the results table (Fig. 10 of the paper).
 #[derive(Clone, Debug)]
@@ -17,8 +60,8 @@ pub struct Row {
     pub time: Duration,
     /// Verified properties.
     pub properties: String,
-    /// Whether verification succeeded.
-    pub safe: bool,
+    /// The verdict.
+    pub status: Status,
 }
 
 impl Row {
@@ -30,7 +73,7 @@ impl Row {
             annotations: r.annotations,
             time: r.time,
             properties: properties.into(),
-            safe: r.is_safe(),
+            status: Status::from(r.outcome()),
         }
     }
 }
@@ -70,7 +113,7 @@ impl Table {
 
     /// Whether every row verified.
     pub fn all_safe(&self) -> bool {
-        self.rows.iter().all(|r| r.safe)
+        self.rows.iter().all(|r| r.status.is_safe())
     }
 }
 
@@ -78,8 +121,8 @@ impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<12} {:>5} {:>5} {:>8}  {:<28} {}",
-            "Program", "LOC", "Ann.", "T(s)", "Property", "Status"
+            "{:<12} {:>5} {:>5} {:>8}  {:<28} Status",
+            "Program", "LOC", "Ann.", "T(s)", "Property"
         )?;
         writeln!(f, "{}", "-".repeat(72))?;
         for r in &self.rows {
@@ -91,7 +134,7 @@ impl fmt::Display for Table {
                 r.annotations,
                 r.time.as_secs_f64(),
                 r.properties,
-                if r.safe { "SAFE" } else { "UNSAFE" }
+                r.status
             )?;
         }
         writeln!(f, "{}", "-".repeat(72))?;
@@ -109,6 +152,7 @@ impl fmt::Display for Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dsolve_logic::{Phase, Resource};
 
     #[test]
     fn table_totals() {
@@ -119,7 +163,7 @@ mod tests {
             annotations: 2,
             time: Duration::from_millis(500),
             properties: "Sorted".into(),
-            safe: true,
+            status: Status::Safe,
         });
         t.push(Row {
             program: "b".into(),
@@ -127,7 +171,7 @@ mod tests {
             annotations: 3,
             time: Duration::from_millis(1500),
             properties: "BST".into(),
-            safe: true,
+            status: Status::Safe,
         });
         assert_eq!(t.total_loc(), 30);
         assert_eq!(t.total_annotations(), 5);
@@ -136,5 +180,21 @@ mod tests {
         let s = t.to_string();
         assert!(s.contains("Sorted"));
         assert!(s.contains("Total"));
+    }
+
+    #[test]
+    fn unknown_rows_break_all_safe_and_render_reason() {
+        let mut t = Table::new();
+        t.push(Row {
+            program: "p".into(),
+            loc: 1,
+            annotations: 0,
+            time: Duration::ZERO,
+            properties: "X".into(),
+            status: Status::Unknown(Exhaustion::new(Phase::Driver, Resource::Panic)),
+        });
+        assert!(!t.all_safe());
+        let s = t.to_string();
+        assert!(s.contains("UNKNOWN (panic exhausted in driver)"), "{s}");
     }
 }

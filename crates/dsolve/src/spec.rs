@@ -447,6 +447,7 @@ impl SpecParser<'_> {
         let mut tp = TypeParser {
             src: body.as_bytes(),
             pos: 0,
+            depth: 0,
             tyvars: HashMap::new(),
             rhos,
             data: self.data,
@@ -516,16 +517,33 @@ fn parse_ctor_pattern(s: &str) -> Result<(Symbol, Vec<Symbol>), String> {
     Ok((Symbol::new(name), binders))
 }
 
+/// Maximum type nesting depth in `val` signatures. A hostile
+/// `((((…`/`{VV : {VV : …` would otherwise overflow the stack, which
+/// aborts the process and cannot be isolated by `catch_unwind`.
+const MAX_TYPE_DEPTH: usize = 256;
+
 /// A refined-type parser for `val` specifications.
 struct TypeParser<'a> {
     src: &'a [u8],
     pos: usize,
+    depth: usize,
     tyvars: HashMap<String, u32>,
     rhos: &'a HashMap<String, RhoDef>,
     data: &'a DataEnv,
 }
 
 impl TypeParser<'_> {
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_TYPE_DEPTH {
+            Err(format!(
+                "type nesting exceeds the depth limit ({MAX_TYPE_DEPTH})"
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
     fn skip_ws(&mut self) {
         while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
             self.pos += 1;
@@ -583,6 +601,13 @@ impl TypeParser<'_> {
     /// `->` becomes a dependent function binder; named parts inside a
     /// tuple name the components (later refinements may mention them).
     fn rtype(&mut self) -> Result<RType, String> {
+        self.descend()?;
+        let r = self.rtype_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn rtype_inner(&mut self) -> Result<RType, String> {
         let (binder, lhs) = self.tuple_ty()?;
         if self.eat("->") {
             let rhs = self.rtype()?;
@@ -755,6 +780,13 @@ impl TypeParser<'_> {
     }
 
     fn atom(&mut self) -> Result<Vec<RType>, String> {
+        self.descend()?;
+        let r = self.atom_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn atom_inner(&mut self) -> Result<Vec<RType>, String> {
         self.skip_ws();
         match self.peek() {
             Some(b'\'') => {
@@ -1101,5 +1133,43 @@ rho Bal on t =
     fn rejects_unknown_rho() {
         let d = data();
         assert!(parse_mlq("val f : 'a list @Nope -> int", &d).is_err());
+    }
+
+    #[test]
+    fn deeply_nested_val_type_is_a_typed_error() {
+        let d = data();
+        let src = format!("val f : {}int{}", "(".repeat(100_000), ")".repeat(100_000));
+        let e = match parse_mlq(&src, &d) {
+            Err(e) => e,
+            Ok(_) => panic!("deep nesting should fail"),
+        };
+        assert!(e.msg.contains("depth limit"), "{e}");
+
+        // Moderate nesting still parses.
+        let ok = format!("val f : {}int{}", "(".repeat(60), ")".repeat(60));
+        assert!(parse_mlq(&ok, &d).is_ok());
+    }
+
+    #[test]
+    fn junk_specs_are_typed_errors_not_panics() {
+        let d = data();
+        for src in [
+            "measure",
+            "measure len",
+            "measure len : list -> int",
+            "measure len : -> int = | Nil -> 0",
+            "measure len : list -> float = | Nil -> 0",
+            "rho R = | C -> x : { VV }",
+            "rho R on nope = | C -> x : { VV }",
+            "val f",
+            "val f : {VV : int | 0 <",
+            "val f : {VV : int",
+            "qualif NoColon",
+            "bogus toplevel",
+        ] {
+            assert!(parse_mlq(src, &d).is_err(), "{src:?} should fail to parse");
+        }
+        assert!(parse_quals("not a qualif line").is_err());
+        assert!(parse_quals("qualif Broken : ((((").is_err());
     }
 }

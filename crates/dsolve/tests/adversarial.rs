@@ -1,0 +1,145 @@
+//! Adversarial-input corpus: hostile or malformed modules, specs, and
+//! qualifier files must produce *typed* errors or `Unknown` verdicts —
+//! never a panic, abort, or hang. Every input runs through
+//! [`Job::run_isolated`], so even an unexpected panic would surface as
+//! `JobError::Panic`; the assertions below demand better than that.
+
+use dsolve::{Job, JobError};
+use dsolve_logic::Resource;
+use std::time::Duration;
+
+/// Runs a job and asserts the front end rejected it with a typed error
+/// (not a panic, and not a successful verdict).
+fn assert_typed_error(tag: &str, ml: &str, mlq: &str, quals: &str) {
+    let job = Job::from_sources(format!("adv-{tag}"), ml, mlq, quals);
+    match job.run_isolated() {
+        Err(JobError::Frontend(_) | JobError::Spec(_)) => {}
+        Err(JobError::Panic(m)) => panic!("{tag}: panicked instead of erroring: {m}"),
+        Err(e) => panic!("{tag}: unexpected error kind: {e}"),
+        Ok(_) => panic!("{tag}: hostile input was accepted"),
+    }
+}
+
+/// Runs a job and asserts it completes without panicking, whatever the
+/// verdict (some junk is semantically meaningless but syntactically ok).
+fn assert_no_panic(tag: &str, ml: &str, mlq: &str, quals: &str) {
+    let job = Job::from_sources(format!("adv-{tag}"), ml, mlq, quals);
+    if let Err(JobError::Panic(m)) = job.run_isolated() {
+        panic!("{tag}: panicked: {m}");
+    }
+}
+
+#[test]
+fn truncated_modules_are_frontend_errors() {
+    for (i, src) in [
+        "let x = ",
+        "let rec f x =",
+        "let f x = if x then",
+        "let f x = match x with",
+        "let f = fun",
+        "type t =",
+        "type t = C of",
+        "let f (a, b",
+        "let f x = assert (",
+        "let f x = x +",
+    ]
+    .iter()
+    .enumerate()
+    {
+        assert_typed_error(&format!("trunc-{i}"), src, "", "");
+    }
+}
+
+#[test]
+fn junk_mlq_files_are_spec_errors() {
+    let ml = "let one = 1\n";
+    for (i, mlq) in [
+        "this is not a spec",
+        "measure",
+        "measure len : list -> float = | Nil -> 0",
+        "rho R = | C -> x : { VV }",
+        "rho R on nowhere = | C -> x : { VV }",
+        "val f : nonexistent_type",
+        "val f : {VV : int | 0 <",
+        "val f : 'a list @Missing",
+        "qualif Broken",
+    ]
+    .iter()
+    .enumerate()
+    {
+        assert_typed_error(&format!("mlq-{i}"), ml, mlq, "");
+    }
+}
+
+#[test]
+fn ill_formed_quals_are_spec_errors() {
+    let ml = "let one = 1\n";
+    for (i, quals) in [
+        "not a qualifier line",
+        "qualif MissingColon",
+        "qualif Unbalanced : ((((",
+        "qualif Junk : let let let",
+        "qualif Overflow : VV = 99999999999999999999999999",
+    ]
+    .iter()
+    .enumerate()
+    {
+        assert_typed_error(&format!("quals-{i}"), ml, "", quals);
+    }
+}
+
+#[test]
+fn ill_sorted_quals_never_panic() {
+    // Sort errors (booleans used as ints, unknown measures) are pruned
+    // during qualifier instantiation rather than rejected up front; the
+    // contract is simply that they never panic the pipeline.
+    let ml = "let f x = assert (x >= 0); x\nlet use = f 1\n";
+    for (i, quals) in [
+        "qualif IllSorted : VV <= true",
+        "qualif UnknownFn : mystery(VV) = 0",
+        "qualif SelfCompare : VV < VV + VV * VV",
+    ]
+    .iter()
+    .enumerate()
+    {
+        assert_no_panic(&format!("sorts-{i}"), ml, "", quals);
+    }
+}
+
+#[test]
+fn deeply_nested_terms_are_typed_errors_not_stack_overflows() {
+    // Stack overflow aborts the whole process — catch_unwind cannot save
+    // us — so depth limits in the parsers are the only line of defense.
+    let deep_parens = format!("let x = {}1{}\n", "(".repeat(50_000), ")".repeat(50_000));
+    assert_typed_error("deep-parens", &deep_parens, "", "");
+
+    let deep_not = format!("let x = {}true\n", "not ".repeat(50_000));
+    assert_typed_error("deep-not", &deep_not, "", "");
+
+    let deep_mlq = format!("val f : {}int{}", "(".repeat(50_000), ")".repeat(50_000));
+    assert_typed_error("deep-mlq", "let one = 1\n", &deep_mlq, "");
+
+    let deep_qual = format!(
+        "qualif Deep : {}0 <= VV{}",
+        "(".repeat(50_000),
+        ")".repeat(50_000)
+    );
+    assert_typed_error("deep-qual", "let one = 1\n", "", &deep_qual);
+}
+
+#[test]
+fn tiny_deadline_is_unknown_not_a_hang() {
+    let mut job = Job::from_sources(
+        "adv-deadline",
+        "let f x = assert (x >= 0); x\nlet use = f 1\n",
+        "",
+        "qualif N : 0 <= VV",
+    );
+    job.config.budget.timeout = Some(Duration::ZERO);
+    let res = job.run_isolated().expect("front end is fine");
+    let e = res
+        .outcome()
+        .exhaustion()
+        .expect("zero deadline must exhaust");
+    assert_eq!(e.resource, Resource::Deadline);
+}

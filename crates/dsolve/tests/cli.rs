@@ -50,11 +50,11 @@ fn unsafe_module_exits_one_with_line() {
 }
 
 #[test]
-fn frontend_error_exits_two() {
+fn frontend_error_exits_three() {
     let dir = tempdir("parse");
     write_temp(&dir, "m.ml", "let x = ");
     let out = dsolve().arg(dir.join("m.ml")).output().unwrap();
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(3));
 }
 
 #[test]
@@ -92,9 +92,72 @@ fn stats_go_to_stderr() {
 }
 
 #[test]
-fn bad_usage_exits_two() {
+fn bad_usage_exits_three() {
     let out = dsolve().arg("--quals").output().unwrap();
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn zero_timeout_exits_two_with_unknown_reason() {
+    let dir = tempdir("timeout");
+    write_temp(
+        &dir,
+        "m.ml",
+        "let f x = assert (x >= 0); x\nlet use = f 1\n",
+    );
+    write_temp(&dir, "m.quals", "qualif N : 0 <= VV\n");
+    let out = dsolve()
+        .arg(dir.join("m.ml"))
+        .arg("--timeout")
+        .arg("0")
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("UNKNOWN"), "{stdout}");
+    assert!(stdout.contains("deadline"), "{stdout}");
+}
+
+#[test]
+fn query_cap_exits_two_with_unknown_reason() {
+    let dir = tempdir("qcap");
+    write_temp(
+        &dir,
+        "m.ml",
+        "let f x = assert (x >= 0); x\nlet use = f 1\n",
+    );
+    write_temp(&dir, "m.quals", "qualif N : 0 <= VV\n");
+    let out = dsolve()
+        .arg(dir.join("m.ml"))
+        .arg("--max-smt-queries")
+        .arg("0")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("UNKNOWN"), "{stdout}");
+    assert!(stdout.contains("smt-queries"), "{stdout}");
+}
+
+#[test]
+fn forced_panic_is_isolated_and_exits_two() {
+    let dir = tempdir("panic");
+    write_temp(&dir, "m.ml", "let one = 1\n");
+    let out = dsolve()
+        .arg(dir.join("m.ml"))
+        .env("DSOLVE_FORCE_PANIC", "*")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("UNKNOWN"), "{stdout}");
+    assert!(stdout.contains("panic"), "{stdout}");
+}
+
+#[test]
+fn non_numeric_timeout_is_bad_usage() {
+    let out = dsolve().arg("--timeout").arg("soon").output().unwrap();
+    assert_eq!(out.status.code(), Some(3));
 }
 
 #[test]

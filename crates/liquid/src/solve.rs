@@ -12,9 +12,13 @@
 use crate::constraint::{LiquidError, SubC};
 use crate::env::{GlobalEnv, KEnv};
 use crate::rtype::{KVar, RefAtom};
-use dsolve_logic::{instantiate_all, Pred, Qualifier, Symbol};
-use dsolve_smt::{SmtSolver, SolverConfig};
+use dsolve_logic::{
+    deadline_expired, instantiate_all, Budget, Exhaustion, Outcome, Phase, Pred, Qualifier,
+    Resource, Symbol,
+};
+use dsolve_smt::{SmtSolver, SolverConfig, Validity};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
 
 /// Statistics from a solver run.
 #[derive(Clone, Copy, Debug, Default)]
@@ -27,6 +31,10 @@ pub struct SolveStats {
     pub smt_queries: u64,
     /// Fixpoint iterations (constraint re-checks).
     pub iterations: u64,
+    /// Wall-clock time spent in the weakening fixpoint.
+    pub fixpoint_time: Duration,
+    /// Wall-clock time spent checking concrete obligations.
+    pub obligation_time: Duration,
 }
 
 /// The result of solving.
@@ -37,6 +45,10 @@ pub struct Solution {
     pub errors: Vec<LiquidError>,
     /// Run statistics.
     pub stats: SolveStats,
+    /// The first budget exhaustion that tainted the run, if any. When
+    /// set, an empty `errors` list does **not** mean the module was
+    /// proven safe.
+    pub exhaustion: Option<Exhaustion>,
 }
 
 impl Solution {
@@ -44,25 +56,30 @@ impl Solution {
     pub fn pred_of(&self, k: KVar) -> Pred {
         Pred::and(self.assignment.get(&k).cloned().unwrap_or_default())
     }
+
+    /// The three-valued outcome of the run. Any exhaustion forces
+    /// `Unknown`: a fixpoint cut short leaves the assignment too strong,
+    /// so even clean obligations cannot be trusted as `Safe`.
+    pub fn outcome(&self) -> Outcome {
+        if let Some(e) = &self.exhaustion {
+            Outcome::Unknown(e.clone())
+        } else if self.errors.is_empty() {
+            Outcome::Safe
+        } else {
+            Outcome::Unsafe
+        }
+    }
 }
 
 /// Solver configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct SolveConfig {
-    /// SMT configuration.
+    /// SMT configuration. Its `budget` field is ignored: `budget` below
+    /// is the single source of truth and is pushed into the SMT solver.
     pub smt: SolverConfig,
-    /// Hard cap on fixpoint iterations (defensive; never hit in
-    /// practice because weakening is monotone).
-    pub max_iterations: u64,
-}
-
-impl Default for SolveConfig {
-    fn default() -> SolveConfig {
-        SolveConfig {
-            smt: SolverConfig::default(),
-            max_iterations: 2_000_000,
-        }
-    }
+    /// Resource limits for the whole run (deadline, query cap, fixpoint
+    /// iteration cap, per-query search caps).
+    pub budget: Budget,
 }
 
 /// Runs the iterative-weakening fixpoint.
@@ -73,7 +90,17 @@ pub fn solve(
     quals: &[Qualifier],
     config: &SolveConfig,
 ) -> Solution {
-    let mut smt = SmtSolver::with_config(config.smt);
+    let budget = config.budget;
+    let deadline = budget.deadline_from_now();
+    let mut smt = SmtSolver::with_config(SolverConfig {
+        budget,
+        ..config.smt
+    });
+    // Pin the absolute deadline so the SMT clock does not restart at the
+    // first query.
+    smt.set_deadline(deadline);
+    let mut exhaustion: Option<Exhaustion> = None;
+    let fixpoint_start = Instant::now();
     let mut stats = SolveStats::default();
     let progress = std::env::var_os("DSOLVE_PROGRESS").is_some();
     if progress {
@@ -122,7 +149,18 @@ pub fn solve(
                 subs[ci].origin
             );
         }
-        if stats.iterations > config.max_iterations {
+        if stats.iterations > budget.max_fixpoint_iterations {
+            // The worklist is not drained: the assignment may still be
+            // too strong, so nothing downstream can be trusted as Safe.
+            exhaustion = Some(Exhaustion::with_detail(
+                Phase::Fixpoint,
+                Resource::FixpointIterations,
+                format!("cap {}", budget.max_fixpoint_iterations),
+            ));
+            break;
+        }
+        if deadline_expired(deadline) {
+            exhaustion = Some(Exhaustion::new(Phase::Fixpoint, Resource::Deadline));
             break;
         }
         let c = &subs[ci];
@@ -234,7 +272,10 @@ pub fn solve(
         }
     }
 
+    stats.fixpoint_time = fixpoint_start.elapsed();
+
     // Final pass: concrete right-hand conjuncts.
+    let obligation_start = Instant::now();
     let mut errors = Vec::new();
     for c in subs {
         let has_conc = c
@@ -263,7 +304,21 @@ pub fn solve(
                 continue;
             }
             stats.smt_queries += 1;
-            if !smt.is_valid(&sorts, &lhs_full, &rhs) {
+            match smt.check_valid(&sorts, &lhs_full, &rhs) {
+                Validity::Valid => continue,
+                Validity::Unknown(e) => {
+                    // The obligation is neither proven nor refuted:
+                    // report it as unproven and taint the outcome.
+                    errors.push(LiquidError {
+                        msg: format!("obligation `{rhs}` unproven: {e}"),
+                        origin: Some(c.origin.clone()),
+                    });
+                    exhaustion.get_or_insert(e);
+                    continue;
+                }
+                Validity::Invalid => {}
+            }
+            {
                 let msg = if std::env::var_os("DSOLVE_DEBUG").is_some() {
                     let ks: Vec<String> = c
                         .lhs
@@ -293,10 +348,13 @@ pub fn solve(
         }
     }
 
+    stats.obligation_time = obligation_start.elapsed();
+
     Solution {
         assignment,
         errors,
         stats,
+        exhaustion,
     }
 }
 
@@ -551,6 +609,82 @@ mod tests {
         let sol = solve(&genv, &kenv, &[sub], &quals(), &SolveConfig::default());
         assert_eq!(sol.errors.len(), 1);
         assert!(sol.errors[0].to_string().contains("line 42"));
+    }
+
+    #[test]
+    fn zero_timeout_reports_unknown_deadline_not_hang() {
+        let genv = genv();
+        let kenv = KEnv::new();
+        let sub = SubC {
+            env: LiquidEnv::new(),
+            nu_shape: MlType::Int,
+            lhs: Refinement::pred(parse_pred("0 < VV").unwrap()),
+            rhs: Refinement::pred(parse_pred("0 <= VV").unwrap()),
+            origin: Origin::Assert { line: 7 },
+        };
+        let config = SolveConfig {
+            budget: Budget::with_timeout(std::time::Duration::from_secs(0)),
+            ..SolveConfig::default()
+        };
+        let sol = solve(&genv, &kenv, &[sub], &quals(), &config);
+        let e = sol.exhaustion.as_ref().expect("exhaustion recorded");
+        assert_eq!(e.resource, dsolve_logic::Resource::Deadline);
+        assert!(sol.outcome().is_unknown());
+        // The undecided obligation is surfaced, not silently dropped.
+        assert_eq!(sol.errors.len(), 1);
+        assert!(sol.errors[0].to_string().contains("unproven"), "{}", sol.errors[0]);
+    }
+
+    #[test]
+    fn exhausted_fixpoint_taints_outcome() {
+        let genv = genv();
+        let mut kenv = KEnv::new();
+        let r = fresh_refinement(&mut kenv, SortEnv::new(), &MlType::Int);
+        let sub = SubC {
+            env: LiquidEnv::new(),
+            nu_shape: MlType::Int,
+            lhs: Refinement::pred(parse_pred("0 < VV").unwrap()),
+            rhs: r,
+            origin: Origin::Flow("t"),
+        };
+        let config = SolveConfig {
+            budget: Budget {
+                max_fixpoint_iterations: 0,
+                ..Budget::default()
+            },
+            ..SolveConfig::default()
+        };
+        let sol = solve(&genv, &kenv, &[sub], &quals(), &config);
+        let e = sol.exhaustion.as_ref().expect("exhaustion recorded");
+        assert_eq!(e.phase, dsolve_logic::Phase::Fixpoint);
+        assert_eq!(e.resource, dsolve_logic::Resource::FixpointIterations);
+        // No obligation failed, yet the run must not claim Safe.
+        assert!(sol.errors.is_empty());
+        assert!(sol.outcome().is_unknown());
+    }
+
+    #[test]
+    fn exhausted_query_budget_reports_unproven_obligation() {
+        let genv = genv();
+        let kenv = KEnv::new();
+        let sub = SubC {
+            env: LiquidEnv::new(),
+            nu_shape: MlType::Int,
+            lhs: Refinement::pred(parse_pred("0 < VV").unwrap()),
+            rhs: Refinement::pred(parse_pred("0 <= VV").unwrap()),
+            origin: Origin::Assert { line: 9 },
+        };
+        let config = SolveConfig {
+            budget: Budget {
+                max_smt_queries: Some(0),
+                ..Budget::default()
+            },
+            ..SolveConfig::default()
+        };
+        let sol = solve(&genv, &kenv, &[sub], &quals(), &config);
+        let e = sol.exhaustion.as_ref().expect("exhaustion recorded");
+        assert_eq!(e.resource, dsolve_logic::Resource::SmtQueries);
+        assert!(sol.outcome().is_unknown());
     }
 
     #[test]

@@ -13,11 +13,12 @@ use crate::measure::MeasureEnv;
 use crate::rtype::{RScheme, RType};
 use crate::solve::{solve, SolveConfig, SolveStats, Solution};
 use crate::subtype::split;
-use dsolve_logic::{Qualifier, Symbol};
+use dsolve_logic::{Outcome, Qualifier, Symbol};
 use dsolve_nanoml::{
     infer_program, parse_program, resolve_program, DataEnv, Scheme, TProgram,
 };
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// A named specification: the inferred type of a top-level binding must
 /// be a subtype of the given scheme.
@@ -31,21 +32,26 @@ pub struct Spec {
 
 /// The result of a verification run.
 pub struct VerifyResult {
-    /// Verification errors (empty = the module is safe w.r.t. its
-    /// asserts, divisions, and specifications).
+    /// Three-valued verdict: `Safe`, `Unsafe`, or `Unknown` with the
+    /// budget exhaustion that prevented a definite answer.
+    pub outcome: Outcome,
+    /// Verification errors (obligations that failed or, under an
+    /// exhausted budget, could not be decided).
     pub errors: Vec<LiquidError>,
     /// The solved refinement schemes of the top-level bindings.
     pub inferred: HashMap<Symbol, RScheme>,
-    /// Solver statistics.
+    /// Solver statistics (including fixpoint/obligation wall-clock time).
     pub stats: SolveStats,
     /// Number of generated subtyping constraints.
     pub num_constraints: usize,
+    /// Wall-clock time spent in constraint generation and spec splitting.
+    pub gen_time: Duration,
 }
 
 impl VerifyResult {
-    /// Whether verification succeeded.
+    /// Whether every obligation was proven within budget.
     pub fn is_safe(&self) -> bool {
-        self.errors.is_empty()
+        self.outcome.is_safe()
     }
 }
 
@@ -98,15 +104,18 @@ impl Verifier {
         for (name, scheme) in builtin_rts {
             env = env.bind_scheme(name, scheme);
         }
+        let gen_start = Instant::now();
         let mut gen = Gen::new(&self.genv);
         let final_env = match gen.program(prog, env) {
             Ok(e) => e,
             Err(e) => {
                 return VerifyResult {
+                    outcome: Outcome::Unsafe,
                     errors: vec![e],
                     inferred: HashMap::new(),
                     stats: SolveStats::default(),
                     num_constraints: 0,
+                    gen_time: gen_start.elapsed(),
                 }
             }
         };
@@ -131,6 +140,7 @@ impl Verifier {
         }
 
         let num_constraints = gen.subs.len();
+        let gen_time = gen_start.elapsed();
         let mut solution: Solution =
             solve(&self.genv, &gen.kenv, &gen.subs, &self.quals, &self.config);
         solution.errors.extend(spec_errors);
@@ -145,11 +155,19 @@ impl Verifier {
             }
         }
 
+        // The outcome accounts for spec errors appended after solving.
+        let outcome = match solution.exhaustion.clone() {
+            Some(e) => Outcome::Unknown(e),
+            None if solution.errors.is_empty() => Outcome::Safe,
+            None => Outcome::Unsafe,
+        };
         VerifyResult {
+            outcome,
             errors: solution.errors,
             inferred,
             stats: solution.stats,
             num_constraints,
+            gen_time,
         }
     }
 

@@ -7,7 +7,7 @@ use dsolve_liquid::{
     RVarDecl, Refinement, Rho, Spec,
 };
 use dsolve_logic::{parse_expr, parse_pred, Expr, Qualifier, Sort, Subst, Symbol};
-use dsolve_nanoml::{DataEnv, MlType};
+use dsolve_nanoml::DataEnv;
 use std::collections::{BTreeMap, HashMap};
 
 fn quals(qs: &[&str]) -> Vec<Qualifier> {

@@ -94,16 +94,19 @@ impl Expr {
     }
 
     /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::Binop(Binop::Add, Box::new(self), Box::new(rhs))
     }
 
     /// `self - rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Expr) -> Expr {
         Expr::Binop(Binop::Sub, Box::new(self), Box::new(rhs))
     }
 
     /// `self * rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Expr) -> Expr {
         Expr::Binop(Binop::Mul, Box::new(self), Box::new(rhs))
     }

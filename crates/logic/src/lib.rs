@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+mod budget;
 mod expr;
 mod parse;
 mod pred;
@@ -39,6 +40,7 @@ mod sortck;
 mod subst;
 mod symbol;
 
+pub use budget::{deadline_expired, Budget, Exhaustion, Outcome, Phase, Resource};
 pub use expr::{Binop, Expr};
 pub use parse::{parse_expr, parse_pred, ParsePredError};
 pub use pred::{Pred, Rel};

@@ -82,10 +82,17 @@ pub fn parse_expr(input: &str) -> Result<Expr, ParsePredError> {
     Ok(e)
 }
 
+/// Maximum grammar recursion depth. A hostile input of the shape
+/// `((((…))))` or `not not not …` would otherwise overflow the stack —
+/// an abort that no `catch_unwind` can isolate — so the parser refuses
+/// with a typed error instead.
+const MAX_DEPTH: usize = 256;
+
 struct Parser<'a> {
     src: &'a [u8],
     pos: usize,
     next_star: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -94,6 +101,16 @@ impl<'a> Parser<'a> {
             src: src.as_bytes(),
             pos: 0,
             next_star: 0,
+            depth: 0,
+        }
+    }
+
+    fn descend(&mut self) -> Result<(), ParsePredError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(self.err("expression nesting exceeds the depth limit (256)"))
+        } else {
+            Ok(())
         }
     }
 
@@ -173,6 +190,13 @@ impl<'a> Parser<'a> {
     }
 
     fn pred(&mut self) -> Result<Pred, ParsePredError> {
+        self.descend()?;
+        let r = self.pred_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn pred_inner(&mut self) -> Result<Pred, ParsePredError> {
         let mut lhs = self.imp()?;
         while self.eat("<=>") {
             let rhs = self.imp()?;
@@ -215,11 +239,14 @@ impl<'a> Parser<'a> {
     }
 
     fn unit(&mut self) -> Result<Pred, ParsePredError> {
-        if self.eat("not") {
-            let p = self.unit()?;
-            return Ok(Pred::not(p));
-        }
-        self.atom()
+        self.descend()?;
+        let r = if self.eat("not") {
+            self.unit().map(Pred::not)
+        } else {
+            self.atom()
+        };
+        self.depth -= 1;
+        r
     }
 
     fn atom(&mut self) -> Result<Pred, ParsePredError> {
@@ -314,6 +341,13 @@ impl<'a> Parser<'a> {
     }
 
     fn factor(&mut self) -> Result<Expr, ParsePredError> {
+        self.descend()?;
+        let r = self.factor_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn factor_inner(&mut self) -> Result<Expr, ParsePredError> {
         self.skip_ws();
         match self.peek() {
             Some(b'-') => {
@@ -508,6 +542,25 @@ mod tests {
         assert!(parse_pred("x = y zzz qq").is_err());
         assert!(parse_pred("x +").is_err());
         assert!(parse_expr("x < y").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_a_typed_error_not_a_stack_overflow() {
+        let deep = format!("{}x{}", "(".repeat(100_000), ")".repeat(100_000));
+        let e = parse_pred(&deep).unwrap_err();
+        assert!(e.msg.contains("depth limit"), "{e}");
+        let nots = format!("{} x = 1", "not ".repeat(100_000));
+        assert!(parse_pred(&nots).is_err());
+        // Reasonable nesting still parses.
+        let ok = format!("{}x{}", "(".repeat(60), ")".repeat(60));
+        assert!(parse_pred(&ok).is_ok());
+    }
+
+    #[test]
+    fn integer_overflow_is_a_typed_error() {
+        let e = parse_pred("x = 99999999999999999999999999").unwrap_err();
+        assert!(e.msg.contains("overflow"), "{e}");
+        assert!(e.at > 0);
     }
 
     #[test]

@@ -179,6 +179,7 @@ impl Pred {
     }
 
     /// Logical negation, pushing through literals where cheap.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(p: Pred) -> Pred {
         match p {
             Pred::True => Pred::False,

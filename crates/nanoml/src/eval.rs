@@ -235,6 +235,9 @@ impl Value {
 
 impl Eq for Value {}
 
+// Intentionally weaker than `Ord`: higher-order values compare as `None`
+// here but panic in `cmp`, which map keys rely on.
+#[allow(clippy::non_canonical_partial_ord_impl)]
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Value) -> Option<Ordering> {
         self.try_cmp(other)
@@ -547,6 +550,9 @@ pub fn builtin_env() -> Env {
             let Value::Map(m) = &args[0] else {
                 return Err(EvalError::Stuck("set on non-map".into()));
             };
+            // Keys are first-order values; the `Rc` inside `Value` never
+            // mutates through a key.
+            #[allow(clippy::mutable_key_type)]
             let mut m2 = (**m).clone();
             m2.insert(args[1].clone(), args[2].clone());
             Ok(Value::Map(Rc::new(m2)))

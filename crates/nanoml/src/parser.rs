@@ -28,13 +28,22 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum expression/type nesting depth. Hostile inputs like
+/// `((((…))))` or `not not not …` would otherwise overflow the stack,
+/// which aborts the process and cannot be isolated by `catch_unwind`.
+const MAX_DEPTH: usize = 256;
+
 /// Parses a complete program.
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
     let toks = lex(src).map_err(|e| ParseError {
         msg: e.msg,
         line: e.line,
     })?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     p.program()
 }
 
@@ -44,7 +53,11 @@ pub fn parse_expr_str(src: &str) -> Result<Expr, ParseError> {
         msg: e.msg,
         line: e.line,
     })?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     let e = p.expr()?;
     p.expect(&Token::Eof)?;
     Ok(e)
@@ -56,7 +69,11 @@ pub fn parse_type_str(src: &str) -> Result<TypeExpr, ParseError> {
         msg: e.msg,
         line: e.line,
     })?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     let t = p.type_expr()?;
     p.expect(&Token::Eof)?;
     Ok(t)
@@ -65,6 +82,7 @@ pub fn parse_type_str(src: &str) -> Result<TypeExpr, ParseError> {
 struct Parser {
     toks: Vec<Spanned>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -109,6 +127,17 @@ impl Parser {
         ParseError {
             msg: msg.to_owned(),
             line: self.line(),
+        }
+    }
+
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(self.err(&format!(
+                "expression nesting exceeds the depth limit ({MAX_DEPTH})"
+            )))
+        } else {
+            Ok(())
         }
     }
 
@@ -299,27 +328,30 @@ impl Parser {
     // ---------------- expressions ----------------
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
-        let first = self.expr_noseq()?;
-        if self.eat(&Token::Semi) {
-            let rest = self.expr()?;
-            Ok(Expr::Let(
-                Symbol::fresh("seq"),
-                Box::new(first),
-                Box::new(rest),
-            ))
-        } else {
-            Ok(first)
+        // Sequences fold iteratively so a long flat `e; e; …` body does
+        // not consume stack proportional to its length.
+        let mut parts = vec![self.expr_noseq()?];
+        while self.eat(&Token::Semi) {
+            parts.push(self.expr_noseq()?);
         }
+        let mut acc = parts.pop().expect("nonempty");
+        while let Some(e) = parts.pop() {
+            acc = Expr::Let(Symbol::fresh("seq"), Box::new(e), Box::new(acc));
+        }
+        Ok(acc)
     }
 
     fn expr_noseq(&mut self) -> Result<Expr, ParseError> {
-        match self.peek() {
+        self.descend()?;
+        let r = match self.peek() {
             Token::Let => self.let_expr(),
             Token::Fun => self.fun_expr(),
             Token::If => self.if_expr(),
             Token::Match => self.match_expr(),
             _ => self.or_expr(),
-        }
+        };
+        self.depth -= 1;
+        r
     }
 
     fn let_expr(&mut self) -> Result<Expr, ParseError> {
@@ -572,13 +604,17 @@ impl Parser {
     }
 
     fn cons_expr(&mut self) -> Result<Expr, ParseError> {
-        let lhs = self.add_expr()?;
-        if self.eat(&Token::ColonColon) {
-            let rhs = self.cons_expr()?;
-            Ok(Expr::Ctor(Symbol::new("Cons"), vec![lhs, rhs]))
-        } else {
-            Ok(lhs)
+        // `::` is right-associative; fold iteratively so long chains do
+        // not consume stack proportional to their length.
+        let mut parts = vec![self.add_expr()?];
+        while self.eat(&Token::ColonColon) {
+            parts.push(self.add_expr()?);
         }
+        let mut acc = parts.pop().expect("nonempty");
+        while let Some(e) = parts.pop() {
+            acc = Expr::Ctor(Symbol::new("Cons"), vec![e, acc]);
+        }
+        Ok(acc)
     }
 
     fn add_expr(&mut self) -> Result<Expr, ParseError> {
@@ -615,6 +651,13 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        self.descend()?;
+        let r = self.unary_expr_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn unary_expr_inner(&mut self) -> Result<Expr, ParseError> {
         if self.eat(&Token::Minus) {
             let e = self.unary_expr()?;
             return Ok(match e {
@@ -742,13 +785,21 @@ impl Parser {
     // ---------------- types ----------------
 
     fn type_expr(&mut self) -> Result<TypeExpr, ParseError> {
-        let lhs = self.type_prod()?;
-        if self.eat(&Token::Arrow) {
-            let rhs = self.type_expr()?;
-            Ok(TypeExpr::Arrow(Box::new(lhs), Box::new(rhs)))
-        } else {
-            Ok(lhs)
-        }
+        self.descend()?;
+        // Arrows are right-associative; fold iteratively.
+        let r = (|| {
+            let mut parts = vec![self.type_prod()?];
+            while self.eat(&Token::Arrow) {
+                parts.push(self.type_prod()?);
+            }
+            let mut acc = parts.pop().expect("nonempty");
+            while let Some(t) = parts.pop() {
+                acc = TypeExpr::Arrow(Box::new(t), Box::new(acc));
+            }
+            Ok(acc)
+        })();
+        self.depth -= 1;
+        r
     }
 
     fn type_prod(&mut self) -> Result<TypeExpr, ParseError> {
@@ -986,5 +1037,58 @@ let rec insert x vs =
     fn parses_unit_and_ascription() {
         assert_eq!(parse_expr_str("()").unwrap(), Expr::Unit);
         assert!(parse_expr_str("(x : int)").is_ok());
+    }
+
+    #[test]
+    fn deep_nesting_is_a_typed_error_not_a_stack_overflow() {
+        let deep = format!("{}1{}", "(".repeat(100_000), ")".repeat(100_000));
+        let e = parse_expr_str(&deep).unwrap_err();
+        assert!(e.msg.contains("depth limit"), "{e}");
+
+        let nots = format!("{}true", "not ".repeat(100_000));
+        assert!(parse_expr_str(&nots).is_err());
+
+        let ty = format!("{}int{}", "(".repeat(100_000), ")".repeat(100_000));
+        assert!(parse_type_str(&ty).is_err());
+
+        // Moderate nesting must still parse.
+        let ok = format!("{}1{}", "(".repeat(60), ")".repeat(60));
+        assert!(parse_expr_str(&ok).is_ok());
+    }
+
+    #[test]
+    fn long_flat_programs_are_not_depth_limited() {
+        // Sequences, cons chains, and arrow types fold iteratively;
+        // only *nesting* is bounded.
+        let seq = vec!["assert (0 <= 1)"; 5_000].join("; ");
+        assert!(parse_expr_str(&seq).is_ok());
+
+        let cons = format!("{}[]", "1 :: ".repeat(5_000));
+        assert!(parse_expr_str(&cons).is_ok());
+
+        let arrows = format!("{}int", "int -> ".repeat(5_000));
+        assert!(parse_type_str(&arrows).is_ok());
+    }
+
+    #[test]
+    fn integer_overflow_is_a_typed_error_with_line() {
+        let e = parse_expr_str("\n99999999999999999999999999").unwrap_err();
+        assert!(e.msg.contains("overflow"), "{e}");
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn truncated_inputs_are_typed_errors() {
+        for src in [
+            "let x = ",
+            "let rec f x =",
+            "if x then",
+            "match xs with",
+            "fun",
+            "let (a, b",
+            "type t =",
+        ] {
+            assert!(parse_program(src).is_err(), "{src:?} should fail to parse");
+        }
     }
 }

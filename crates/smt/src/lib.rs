@@ -16,9 +16,14 @@
 //! * array-axiom instantiation and set canonicalization preprocessing;
 //! * a Nelson–Oppen-style combination loop with equality propagation.
 //!
-//! Every incompleteness escape hatch (branch-and-bound budget, conflict
-//! budget) resolves toward "satisfiable", i.e. toward *rejecting* a
-//! verification condition — the verifier built on top is conservative.
+//! Every incompleteness escape hatch (wall-clock deadline, query cap,
+//! branch-and-bound budget, conflict budgets, saturation-lemma cap — see
+//! [`dsolve_logic::Budget`]) is *reported*: the three-valued
+//! [`SmtSolver::check_valid`] / [`SmtSolver::check_sat`] APIs return
+//! `Unknown` with a structured [`dsolve_logic::Exhaustion`] when a limit
+//! is hit. The boolean façades [`SmtSolver::is_valid`] /
+//! [`SmtSolver::is_sat`] resolve `Unknown` toward *rejecting* a
+//! verification condition, so a verifier built on them stays sound.
 //!
 //! ## Example
 //!
@@ -56,8 +61,8 @@ pub use cnf::{encode, Atom, AtomId, Atoms, CnfFormula};
 pub use euf::{Euf, EufResult};
 pub use rational::Rat;
 pub use sat::{BVar, CdclSolver, Lit, SatResult};
-pub use sets::canonicalize_sets;
+pub use sets::{canonicalize_sets, set_saturation_lemmas};
 pub use simplex::{LpResult, Simplex};
-pub use solver::{SmtSolver, SolverConfig, SolverStats};
+pub use solver::{SmtResult, SmtSolver, SolverConfig, SolverStats, Validity};
 pub use term::{LinExpr, Term, TermArena, TermId};
-pub use theory::{check_assignment, TheoryResult};
+pub use theory::{check_assignment, TheoryBudget, TheoryResult};

@@ -173,6 +173,8 @@ impl Mul for Rat {
 
 impl Div for Rat {
     type Output = Rat;
+    // Division *is* multiplication by the reciprocal here.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Rat) -> Rat {
         self * rhs.recip()
     }

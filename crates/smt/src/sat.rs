@@ -6,7 +6,9 @@
 //! drives it lazily: each full propositional model is checked against the
 //! theories and refuted with a blocking clause when theory-inconsistent.
 
+use dsolve_logic::deadline_expired;
 use std::fmt;
+use std::time::Instant;
 
 /// A propositional variable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -69,6 +71,8 @@ pub enum SatResult {
     Sat,
     /// The clause set is unsatisfiable.
     Unsat,
+    /// The search budget (deadline or conflict cap) ran out first.
+    Unknown,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -402,11 +406,29 @@ impl CdclSolver {
         best.map(Lit::neg)
     }
 
-    /// Runs the CDCL search to completion.
+    /// Runs the CDCL search to completion with no budget.
     pub fn solve(&mut self) -> SatResult {
+        self.solve_within(None, u64::MAX)
+    }
+
+    /// Runs the CDCL search, giving up with [`SatResult::Unknown`] when
+    /// the deadline passes or more than `max_conflicts` conflicts occur.
+    ///
+    /// The deadline is polled every [`DEADLINE_POLL_CONFLICTS`] conflicts
+    /// (and at each restart), so expiry is detected promptly on hard
+    /// instances without a syscall per propagation. On `Unknown` the
+    /// solver backtracks to level 0 and stays usable.
+    pub fn solve_within(&mut self, deadline: Option<Instant>, max_conflicts: u64) -> SatResult {
+        /// How many conflicts pass between deadline polls.
+        const DEADLINE_POLL_CONFLICTS: u64 = 64;
+
         if self.unsat {
             return SatResult::Unsat;
         }
+        if deadline_expired(deadline) {
+            return SatResult::Unknown;
+        }
+        let mut conflicts_total = 0u64;
         let mut conflicts_since_restart = 0usize;
         let mut restart_limit = 100usize;
         loop {
@@ -414,6 +436,15 @@ impl CdclSolver {
                 if self.decision_level() == 0 {
                     self.unsat = true;
                     return SatResult::Unsat;
+                }
+                conflicts_total += 1;
+                if conflicts_total > max_conflicts
+                    || (conflicts_total.is_multiple_of(DEADLINE_POLL_CONFLICTS)
+                        && deadline_expired(deadline))
+                {
+                    self.backtrack(0);
+                    self.prop_head = 0;
+                    return SatResult::Unknown;
                 }
                 conflicts_since_restart += 1;
                 self.act_inc *= 1.05;
@@ -507,6 +538,7 @@ mod tests {
         for row in &p {
             s.add_clause(vec![Lit::pos(row[0]), Lit::pos(row[1])]);
         }
+        #[allow(clippy::needless_range_loop)]
         for j in 0..2 {
             for i1 in 0..3 {
                 for i2 in (i1 + 1)..3 {
@@ -549,6 +581,37 @@ mod tests {
             s.add_clause(block);
         }
         assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn conflict_cap_reports_unknown_and_keeps_solver_usable() {
+        // PHP(4,3) takes more than one conflict to refute.
+        let mut s = CdclSolver::new();
+        let p: Vec<Vec<BVar>> = (0..4).map(|_| lits(&mut s, 3)).collect();
+        for row in &p {
+            s.add_clause(row.iter().map(|&v| Lit::pos(v)).collect());
+        }
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..3 {
+            for i1 in 0..4 {
+                for i2 in (i1 + 1)..4 {
+                    s.add_clause(vec![Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve_within(None, 1), SatResult::Unknown);
+        // The same solver, given full budget, still decides the instance.
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn expired_deadline_reports_unknown() {
+        let mut s = CdclSolver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(vec![Lit::pos(v[0]), Lit::pos(v[1])]);
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        assert_eq!(s.solve_within(Some(past), u64::MAX), SatResult::Unknown);
+        assert_eq!(s.solve(), SatResult::Sat);
     }
 
     #[test]

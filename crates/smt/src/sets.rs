@@ -121,13 +121,20 @@ fn flatten_set(e: &Expr, out: &mut Vec<Expr>) {
 /// s = t  ⇒  u = canon(u[x := t])
 /// ```
 ///
-/// New union terms produced on the right enter the worklist, bounded by a
-/// saturation budget. Singleton injectivity (`single a = single b ⇒ a = b`)
-/// is instantiated for the singleton leaves present.
+/// New union terms produced on the right enter the worklist, bounded by
+/// the `max_lemmas` saturation budget. Singleton injectivity
+/// (`single a = single b ⇒ a = b`) is instantiated for the singleton
+/// leaves present.
+///
+/// Returns the strengthened formula plus a flag that is `true` when the
+/// lemma budget ran out before saturation completed. A truncated lemma
+/// set only ever *weakens* the formula, so `Unsat` answers derived from
+/// it remain sound — but a `Sat` answer may be spurious, and callers
+/// must report the truncation rather than trust it.
 ///
 /// Call on a formula that is already in canonical form (see
 /// [`canonicalize_sets`]).
-pub fn set_saturation_lemmas(p: &Pred) -> Pred {
+pub fn set_saturation_lemmas(p: &Pred, max_lemmas: u64) -> (Pred, bool) {
     use std::collections::BTreeSet;
 
     // Collect equality pairs over set-shaped sides and all union terms.
@@ -139,18 +146,20 @@ pub fn set_saturation_lemmas(p: &Pred) -> Pred {
     let mut lemmas: Vec<Pred> = Vec::new();
     let mut seen: BTreeSet<Expr> = unions.clone();
     let mut work: Vec<Expr> = unions.into_iter().collect();
-    let mut budget = 200usize;
+    let mut budget = max_lemmas;
+    let mut truncated = false;
 
-    while let Some(u) = work.pop() {
-        if budget == 0 {
-            break;
-        }
+    'saturate: while let Some(u) = work.pop() {
         let mut leaves = Vec::new();
         flatten_set(&u, &mut leaves);
         for x in &leaves {
             for (s, t) in &pairs {
                 if s == x {
-                    budget = budget.saturating_sub(1);
+                    if budget == 0 {
+                        truncated = true;
+                        break 'saturate;
+                    }
+                    budget -= 1;
                     // Rebuild with x replaced by the leaves of t.
                     let rest: Vec<Expr> =
                         leaves.iter().filter(|l| *l != x).cloned().collect();
@@ -199,13 +208,14 @@ pub fn set_saturation_lemmas(p: &Pred) -> Pred {
         }
     }
 
-    if lemmas.is_empty() {
+    let strengthened = if lemmas.is_empty() {
         p.clone()
     } else {
         let mut parts = vec![p.clone()];
         parts.extend(lemmas);
         Pred::and(parts)
-    }
+    };
+    (strengthened, truncated)
 }
 
 fn canon_of_leaves(mut leaves: Vec<Expr>) -> Expr {
@@ -352,6 +362,19 @@ mod tests {
         assert_eq!(canon("x in single(y)"), "(x = y)");
         assert_eq!(canon("x in union(single(y), s)"), "((x in s) || (x = y))");
         assert_eq!(canon("x in s"), "(x in s)");
+    }
+
+    #[test]
+    fn saturation_budget_reports_truncation() {
+        // An equality whose right side mentions a union keeps producing
+        // fresh union terms; a tiny budget must flag truncation.
+        let p = parse_pred("s = union(single(x), t) && union(s, u) = w").unwrap();
+        let (_, truncated_tiny) = set_saturation_lemmas(&p, 0);
+        assert!(truncated_tiny, "zero lemma budget must report truncation");
+        let (full, truncated_full) = set_saturation_lemmas(&p, 200);
+        assert!(!truncated_full, "default budget saturates this formula");
+        // The strengthened formula still contains the original.
+        assert!(full.to_string().contains("single(x)"));
     }
 
     #[test]

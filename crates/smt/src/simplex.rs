@@ -8,21 +8,26 @@
 //! termination).
 //!
 //! Integer feasibility is decided by branch-and-bound on
-//! fractionally-assigned integer variables. The search is budgeted: if the
-//! budget is exhausted the solver answers "feasible", which makes the
-//! overall verifier *conservative* (it can only cause a spurious type
-//! error, never a missed one).
+//! fractionally-assigned integer variables. The search is budgeted: if
+//! the node budget (or the deadline) is exhausted the solver answers
+//! [`LpResult::Unknown`], which callers must surface rather than treat
+//! as either verdict.
 
 use crate::Rat;
+use dsolve_logic::{deadline_expired, Budget};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Feasibility verdict.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LpResult {
-    /// A satisfying assignment exists (or the integer budget ran out).
+    /// A satisfying assignment exists.
     Sat,
     /// The constraints are infeasible.
     Unsat,
+    /// The search budget (branch-and-bound nodes or deadline) ran out
+    /// before feasibility was decided.
+    Unknown,
 }
 
 /// A simplex tableau over rational variables with optional integrality.
@@ -102,7 +107,7 @@ impl Simplex {
                 return false;
             }
         }
-        if self.lower[var].map_or(true, |l| bound > l) {
+        if self.lower[var].is_none_or(|l| bound > l) {
             self.lower[var] = Some(bound);
             if !self.row_of.contains_key(&var) && self.beta[var] < bound {
                 self.update(var, bound);
@@ -118,7 +123,7 @@ impl Simplex {
                 return false;
             }
         }
-        if self.upper[var].map_or(true, |u| bound < u) {
+        if self.upper[var].is_none_or(|u| bound < u) {
             self.upper[var] = Some(bound);
             if !self.row_of.contains_key(&var) && self.beta[var] > bound {
                 self.update(var, bound);
@@ -204,12 +209,12 @@ impl Simplex {
             let mut viol: Option<(usize, usize, bool)> = None; // (row, var, need_increase)
             for (r, &b) in self.basic.iter().enumerate() {
                 if let Some(l) = self.lower[b] {
-                    if self.beta[b] < l && viol.map_or(true, |(_, v, _)| b < v) {
+                    if self.beta[b] < l && viol.is_none_or(|(_, v, _)| b < v) {
                         viol = Some((r, b, true));
                     }
                 }
                 if let Some(u) = self.upper[b] {
-                    if self.beta[b] > u && viol.map_or(true, |(_, v, _)| b < v) {
+                    if self.beta[b] > u && viol.is_none_or(|(_, v, _)| b < v) {
                         viol = Some((r, b, false));
                     }
                 }
@@ -226,15 +231,15 @@ impl Simplex {
             let mut choice: Option<usize> = None;
             for (&xj, &a) in &self.rows[r] {
                 let ok = if increase {
-                    (a.is_positive() && self.upper[xj].map_or(true, |u| self.beta[xj] < u))
+                    (a.is_positive() && self.upper[xj].is_none_or(|u| self.beta[xj] < u))
                         || (a.is_negative()
-                            && self.lower[xj].map_or(true, |l| self.beta[xj] > l))
+                            && self.lower[xj].is_none_or(|l| self.beta[xj] > l))
                 } else {
-                    (a.is_negative() && self.upper[xj].map_or(true, |u| self.beta[xj] < u))
+                    (a.is_negative() && self.upper[xj].is_none_or(|u| self.beta[xj] < u))
                         || (a.is_positive()
-                            && self.lower[xj].map_or(true, |l| self.beta[xj] > l))
+                            && self.lower[xj].is_none_or(|l| self.beta[xj] > l))
                 };
-                if ok && choice.map_or(true, |c| xj < c) {
+                if ok && choice.is_none_or(|c| xj < c) {
                     choice = Some(xj);
                 }
             }
@@ -245,16 +250,23 @@ impl Simplex {
         }
     }
 
-    /// Decides integer feasibility by branch-and-bound with a node budget.
-    ///
-    /// Returns `Sat` when the budget is exhausted (conservative for the
-    /// verifier: a "sat" answer can only *weaken* what it proves).
+    /// Decides integer feasibility by branch-and-bound with the default
+    /// node budget and no deadline.
     pub fn check_int(&mut self) -> LpResult {
-        let mut budget = 400usize;
-        self.check_int_rec(&mut budget)
+        self.check_int_within(Budget::default().max_bb_nodes, None)
     }
 
-    fn check_int_rec(&mut self, budget: &mut usize) -> LpResult {
+    /// Decides integer feasibility by branch-and-bound, exploring at most
+    /// `max_nodes` branch nodes and respecting an optional deadline.
+    ///
+    /// Returns [`LpResult::Unknown`] when either budget runs out before
+    /// the search is decided — never a guessed verdict.
+    pub fn check_int_within(&mut self, max_nodes: u64, deadline: Option<Instant>) -> LpResult {
+        let mut nodes = max_nodes;
+        self.check_int_rec(&mut nodes, deadline)
+    }
+
+    fn check_int_rec(&mut self, nodes: &mut u64, deadline: Option<Instant>) -> LpResult {
         if self.check() == LpResult::Unsat {
             return LpResult::Unsat;
         }
@@ -264,22 +276,36 @@ impl Simplex {
         let Some(v) = frac else {
             return LpResult::Sat;
         };
-        if *budget == 0 {
-            return LpResult::Sat; // budget exhausted: conservative
+        if *nodes == 0 || deadline_expired(deadline) {
+            return LpResult::Unknown;
         }
-        *budget -= 1;
+        *nodes -= 1;
         let val = self.beta[v];
+        let mut unknown = false;
         // Branch: v <= floor(val).
         let mut left = self.clone();
-        if left.assert_upper(v, val.floor()) && left.check_int_rec(budget) == LpResult::Sat {
-            return LpResult::Sat;
+        if left.assert_upper(v, val.floor()) {
+            match left.check_int_rec(nodes, deadline) {
+                LpResult::Sat => return LpResult::Sat,
+                LpResult::Unknown => unknown = true,
+                LpResult::Unsat => {}
+            }
         }
         // Branch: v >= ceil(val).
         let mut right = self.clone();
-        if right.assert_lower(v, val.ceil()) && right.check_int_rec(budget) == LpResult::Sat {
-            return LpResult::Sat;
+        if right.assert_lower(v, val.ceil()) {
+            match right.check_int_rec(nodes, deadline) {
+                LpResult::Sat => return LpResult::Sat,
+                LpResult::Unknown => unknown = true,
+                LpResult::Unsat => {}
+            }
         }
-        LpResult::Unsat
+        // An undecided branch means infeasibility was not established.
+        if unknown {
+            LpResult::Unknown
+        } else {
+            LpResult::Unsat
+        }
     }
 }
 
@@ -374,6 +400,29 @@ mod tests {
         assert!(s.assert_lower(x, r(0)));
         assert!(s.assert_lower(y, r(0)));
         assert_eq!(s.check_int(), LpResult::Sat);
+    }
+
+    #[test]
+    fn exhausted_node_budget_reports_unknown() {
+        // 2x = 1 needs at least one branch node; with a zero-node budget
+        // the answer must be Unknown, never a silent Sat.
+        let mut s = Simplex::new();
+        let x = s.new_var(true);
+        let row = s.add_row(&[(x, r(2))]);
+        assert!(s.assert_lower(row, r(1)) && s.assert_upper(row, r(1)));
+        assert_eq!(s.check_int_within(0, None), LpResult::Unknown);
+        // With budget available the same system is decided exactly.
+        assert_eq!(s.check_int_within(400, None), LpResult::Unsat);
+    }
+
+    #[test]
+    fn expired_deadline_reports_unknown() {
+        let mut s = Simplex::new();
+        let x = s.new_var(true);
+        let row = s.add_row(&[(x, r(2))]);
+        assert!(s.assert_lower(row, r(1)) && s.assert_upper(row, r(1)));
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        assert_eq!(s.check_int_within(400, Some(past)), LpResult::Unknown);
     }
 
     #[test]

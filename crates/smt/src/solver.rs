@@ -10,9 +10,12 @@ use crate::arrays::instantiate_array_axioms;
 use crate::cnf::{encode, Atoms};
 use crate::sat::{CdclSolver, Lit, SatResult};
 use crate::sets::{canonicalize_sets, set_saturation_lemmas};
-use crate::theory::{check_assignment, TheoryResult};
-use dsolve_logic::{Expr, Pred, Sort, SortEnv, Symbol};
+use crate::theory::{check_assignment, TheoryBudget, TheoryResult};
+use dsolve_logic::{
+    deadline_expired, Budget, Exhaustion, Expr, Phase, Pred, Resource, Sort, SortEnv, Symbol,
+};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Cumulative statistics over a solver's lifetime.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -36,10 +39,10 @@ pub struct SolverConfig {
     pub cache: bool,
     /// Instantiate the McCarthy read-over-write axioms.
     pub array_axioms: bool,
-    /// Upper bound on theory-refuted models per query (safety valve; the
-    /// query is reported satisfiable when exhausted, which is conservative
-    /// for the verifier).
-    pub max_theory_conflicts: usize,
+    /// Resource limits (deadline, query cap, per-query search caps).
+    /// Exhausting any of them yields a reported `Unknown`, never a
+    /// silently guessed verdict.
+    pub budget: Budget,
 }
 
 impl Default for SolverConfig {
@@ -47,9 +50,31 @@ impl Default for SolverConfig {
         SolverConfig {
             cache: true,
             array_axioms: true,
-            max_theory_conflicts: 20_000,
+            budget: Budget::default(),
         }
     }
+}
+
+/// Three-valued satisfiability verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SmtResult {
+    /// A theory-consistent model exists.
+    Sat,
+    /// No model exists.
+    Unsat,
+    /// A budget ran out before the query was decided.
+    Unknown(Exhaustion),
+}
+
+/// Three-valued validity verdict for `antecedent ⇒ consequent`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Validity {
+    /// The implication holds in every model.
+    Valid,
+    /// A countermodel exists.
+    Invalid,
+    /// A budget ran out before the query was decided.
+    Unknown(Exhaustion),
 }
 
 /// A reusable SMT solver for refinement implication checks.
@@ -76,6 +101,12 @@ pub struct SmtSolver {
     pub stats: SolverStats,
     config: SolverConfig,
     cache: HashMap<String, bool>,
+    /// Absolute wall-clock deadline for all queries on this solver.
+    deadline: Option<Instant>,
+    /// Whether `deadline` has been initialized (either explicitly via
+    /// [`SmtSolver::set_deadline`] or lazily from `config.budget.timeout`
+    /// on the first query).
+    deadline_armed: bool,
 }
 
 impl SmtSolver {
@@ -97,36 +128,141 @@ impl SmtSolver {
         self.config
     }
 
-    /// Decides validity of `antecedent ⇒ consequent` under `env`.
+    /// Pins the absolute wall-clock deadline for every subsequent query.
     ///
-    /// Incomplete corners (exhausted branch-and-bound or conflict budgets)
-    /// resolve to *invalid*, never to *valid*: the verifier stays sound.
-    pub fn is_valid(&mut self, env: &SortEnv, antecedent: &Pred, consequent: &Pred) -> bool {
+    /// Callers that share one deadline across several phases (e.g. the
+    /// liquid fixpoint) set it here instead of relying on the lazy
+    /// conversion of `config.budget.timeout`, which would restart the
+    /// clock at the first query.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+        self.deadline_armed = true;
+    }
+
+    /// The deadline in effect, arming it from the budget's relative
+    /// timeout on first use.
+    fn effective_deadline(&mut self) -> Option<Instant> {
+        if !self.deadline_armed {
+            self.deadline = self.config.budget.deadline_from_now();
+            self.deadline_armed = true;
+        }
+        self.deadline
+    }
+
+    /// Whether the query cap has been used up (counting both kinds of
+    /// top-level queries).
+    fn query_budget_exhausted(&self) -> bool {
+        self.config
+            .budget
+            .max_smt_queries
+            .is_some_and(|cap| self.stats.sat_queries + self.stats.valid_queries >= cap)
+    }
+
+    /// Checks the per-query entry budgets (query cap, deadline). Returns
+    /// the exhaustion to report, if any.
+    fn entry_exhaustion(&mut self) -> Option<Exhaustion> {
+        if self.query_budget_exhausted() {
+            let cap = self.config.budget.max_smt_queries.unwrap_or(0);
+            return Some(Exhaustion::with_detail(
+                Phase::Smt,
+                Resource::SmtQueries,
+                format!("cap {cap}"),
+            ));
+        }
+        if deadline_expired(self.effective_deadline()) {
+            return Some(Exhaustion::new(Phase::Smt, Resource::Deadline));
+        }
+        None
+    }
+
+    /// Decides validity of `antecedent ⇒ consequent` under `env`,
+    /// reporting `Unknown` when a budget runs out.
+    pub fn check_valid(
+        &mut self,
+        env: &SortEnv,
+        antecedent: &Pred,
+        consequent: &Pred,
+    ) -> Validity {
+        if let Some(e) = self.entry_exhaustion() {
+            return Validity::Unknown(e);
+        }
         self.stats.valid_queries += 1;
         let key = if self.config.cache {
             let k = format!("{antecedent} |- {consequent}");
             if let Some(&v) = self.cache.get(&k) {
                 self.stats.cache_hits += 1;
-                return v;
+                return if v { Validity::Valid } else { Validity::Invalid };
             }
             Some(k)
         } else {
             None
         };
         let negated = Pred::and(vec![antecedent.clone(), Pred::not(consequent.clone())]);
-        let result = !self.is_sat(env, &negated);
-        if let Some(k) = key {
-            self.cache.insert(k, result);
+        let verdict = self.check_sat_inner(env, &negated);
+        // Only definite answers are cached: an `Unknown` under one budget
+        // may well be decidable under a larger one.
+        match verdict {
+            SmtResult::Unsat => {
+                if let Some(k) = key {
+                    self.cache.insert(k, true);
+                }
+                Validity::Valid
+            }
+            SmtResult::Sat => {
+                if let Some(k) = key {
+                    self.cache.insert(k, false);
+                }
+                Validity::Invalid
+            }
+            SmtResult::Unknown(e) => Validity::Unknown(e),
         }
-        result
+    }
+
+    /// Decides satisfiability of `p` under `env`, reporting `Unknown`
+    /// when a budget runs out.
+    pub fn check_sat(&mut self, env: &SortEnv, p: &Pred) -> SmtResult {
+        if let Some(e) = self.entry_exhaustion() {
+            return SmtResult::Unknown(e);
+        }
+        self.stats.sat_queries += 1;
+        self.check_sat_inner(env, p)
+    }
+
+    /// Decides validity of `antecedent ⇒ consequent` under `env`.
+    ///
+    /// Boolean façade over [`SmtSolver::check_valid`]: incomplete corners
+    /// (exhausted budgets, expired deadlines) resolve to *invalid*, never
+    /// to *valid* — the verifier stays sound but may lose precision.
+    /// Callers that need to distinguish "refuted" from "ran out of
+    /// budget" use [`SmtSolver::check_valid`] directly.
+    pub fn is_valid(&mut self, env: &SortEnv, antecedent: &Pred, consequent: &Pred) -> bool {
+        matches!(
+            self.check_valid(env, antecedent, consequent),
+            Validity::Valid
+        )
     }
 
     /// Decides satisfiability of `p` under `env`.
+    ///
+    /// Boolean façade over [`SmtSolver::check_sat`]: `Unknown` resolves
+    /// to *satisfiable* (the solver could not refute the formula).
     pub fn is_sat(&mut self, env: &SortEnv, p: &Pred) -> bool {
-        self.stats.sat_queries += 1;
-        // Preprocess.
+        !matches!(self.check_sat(env, p), SmtResult::Unsat)
+    }
+
+    /// The shared query core: preprocess, encode, and run the lazy
+    /// DPLL(T) loop. Entry budgets are the caller's responsibility.
+    fn check_sat_inner(&mut self, env: &SortEnv, p: &Pred) -> SmtResult {
+        let budget = self.config.budget;
+        let deadline = self.effective_deadline();
+
+        // Preprocess. A truncated saturation pass only *weakens* the
+        // formula, so an `Unsat` answer below remains sound, but a `Sat`
+        // answer could be an artifact of the missing lemmas and must be
+        // demoted to `Unknown`.
         let p = canonicalize_sets(p);
-        let p = set_saturation_lemmas(&p);
+        let (p, saturation_truncated) =
+            set_saturation_lemmas(&p, budget.max_saturation_lemmas);
         let p = if self.config.array_axioms {
             instantiate_array_axioms(&p)
         } else {
@@ -148,14 +284,38 @@ impl SmtSolver {
             sat.add_clause(c);
         }
 
+        let theory_budget = TheoryBudget {
+            bb_nodes: budget.max_bb_nodes,
+            deadline,
+        };
+        let sat_verdict = |truncated: bool| {
+            if truncated {
+                SmtResult::Unknown(Exhaustion::with_detail(
+                    Phase::Saturation,
+                    Resource::SaturationLemmas,
+                    format!("cap {}", budget.max_saturation_lemmas),
+                ))
+            } else {
+                SmtResult::Sat
+            }
+        };
+
         // DPLL(T) enumeration. For purely conjunctive queries the SAT
         // model is unique, so core minimization (whose only purpose is a
         // tighter blocking clause) is wasted work.
         let minimize = sat_has_choice(&cnf_clauses_snapshot);
-        let mut conflicts = 0usize;
+        let mut conflicts = 0u64;
         loop {
-            match sat.solve() {
-                SatResult::Unsat => return false,
+            match sat.solve_within(deadline, budget.max_sat_conflicts) {
+                SatResult::Unsat => return SmtResult::Unsat,
+                SatResult::Unknown => {
+                    let resource = if deadline_expired(deadline) {
+                        Resource::Deadline
+                    } else {
+                        Resource::SatConflicts
+                    };
+                    return SmtResult::Unknown(Exhaustion::new(Phase::Sat, resource));
+                }
                 SatResult::Sat => {
                     let assignment: Vec<(crate::AtomId, bool)> = (0..atoms.len())
                         .map(|i| {
@@ -164,14 +324,23 @@ impl SmtSolver {
                         })
                         .collect();
                     self.stats.theory_checks += 1;
-                    match check_assignment(&atoms, &assignment, minimize) {
-                        TheoryResult::Sat => return true,
+                    match check_assignment(&atoms, &assignment, minimize, &theory_budget) {
+                        TheoryResult::Sat => return sat_verdict(saturation_truncated),
+                        TheoryResult::Unknown(resource) => {
+                            return SmtResult::Unknown(Exhaustion::new(
+                                Phase::Simplex,
+                                resource,
+                            ));
+                        }
                         TheoryResult::Unsat(core) => {
                             self.stats.theory_conflicts += 1;
                             conflicts += 1;
-                            if conflicts > self.config.max_theory_conflicts {
-                                // Give up: conservative "sat".
-                                return true;
+                            if conflicts > budget.max_theory_conflicts {
+                                return SmtResult::Unknown(Exhaustion::with_detail(
+                                    Phase::Smt,
+                                    Resource::TheoryConflicts,
+                                    format!("cap {}", budget.max_theory_conflicts),
+                                ));
                             }
                             let block: Vec<Lit> = core
                                 .iter()
@@ -389,8 +558,9 @@ mod tests {
     fn inconsistent_antecedent_proves_anything() {
         assert!(valid("x < x", "false"));
         assert!(valid("x = 1 && x = 2", "y = 99"));
-        assert!(valid("elts(xs) = empty && elts(xs) = union(single(x), s)", "false") == false
-            || true); // set disjointness facts are not decided; just ensure no panic
+        // Set disjointness facts are not decided either way; just make
+        // sure the query completes without panicking.
+        let _ = valid("elts(xs) = empty && elts(xs) = union(single(x), s)", "false");
     }
 
     #[test]
@@ -418,6 +588,109 @@ mod tests {
         assert!(!valid("x = 4", "x / 2 = 2"));
         // …but congruence over division still holds.
         assert!(valid("x = y", "x / 2 = y / 2"));
+    }
+
+    #[test]
+    fn query_cap_reports_unknown() {
+        let env = env();
+        let mut smt = SmtSolver::with_config(SolverConfig {
+            budget: Budget {
+                max_smt_queries: Some(1),
+                ..Budget::default()
+            },
+            ..SolverConfig::default()
+        });
+        let l = parse_pred("x < y").unwrap();
+        let r = parse_pred("x <= y").unwrap();
+        assert_eq!(smt.check_valid(&env, &l, &r), Validity::Valid);
+        match smt.check_valid(&env, &l, &r) {
+            Validity::Unknown(e) => {
+                assert_eq!(e.phase, Phase::Smt);
+                assert_eq!(e.resource, Resource::SmtQueries);
+            }
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+        // The boolean façade degrades soundly: not proven.
+        assert!(!smt.is_valid(&env, &l, &r));
+    }
+
+    #[test]
+    fn expired_deadline_reports_unknown() {
+        let env = env();
+        let mut smt = SmtSolver::new();
+        smt.set_deadline(Some(Instant::now() - std::time::Duration::from_millis(1)));
+        let p = parse_pred("x < y").unwrap();
+        match smt.check_sat(&env, &p) {
+            SmtResult::Unknown(e) => assert_eq!(e.resource, Resource::Deadline),
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+        // Clearing the deadline restores normal service.
+        smt.set_deadline(None);
+        assert_eq!(smt.check_sat(&env, &p), SmtResult::Sat);
+    }
+
+    #[test]
+    fn zero_timeout_budget_arms_lazily_and_reports_unknown() {
+        let env = env();
+        let mut smt = SmtSolver::with_config(SolverConfig {
+            budget: Budget::with_timeout(std::time::Duration::from_secs(0)),
+            ..SolverConfig::default()
+        });
+        let l = parse_pred("x < y").unwrap();
+        let r = parse_pred("x <= y").unwrap();
+        match smt.check_valid(&env, &l, &r) {
+            Validity::Unknown(e) => assert_eq!(e.resource, Resource::Deadline),
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+        assert!(!smt.is_valid(&env, &l, &r));
+    }
+
+    #[test]
+    fn exhausted_bb_budget_demotes_to_unknown_not_sat() {
+        // x + x = 1 has a rational solution but no integer one; with no
+        // branch-and-bound nodes the solver must admit it cannot tell.
+        let env = env();
+        let mut smt = SmtSolver::with_config(SolverConfig {
+            budget: Budget {
+                max_bb_nodes: 0,
+                ..Budget::default()
+            },
+            ..SolverConfig::default()
+        });
+        let p = parse_pred("x + x = 1").unwrap();
+        match smt.check_sat(&env, &p) {
+            SmtResult::Unknown(e) => {
+                assert_eq!(e.phase, Phase::Simplex);
+                assert_eq!(e.resource, Resource::BranchBoundNodes);
+            }
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+        // With the default budget the same query is refuted outright.
+        let mut full = SmtSolver::new();
+        assert_eq!(full.check_sat(&env, &p), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn unknown_is_not_cached() {
+        let env = env();
+        let mut smt = SmtSolver::with_config(SolverConfig {
+            budget: Budget {
+                max_bb_nodes: 0,
+                ..Budget::default()
+            },
+            ..SolverConfig::default()
+        });
+        let l = parse_pred("x + x = 1").unwrap();
+        let r = parse_pred("false").unwrap();
+        assert!(matches!(
+            smt.check_valid(&env, &l, &r),
+            Validity::Unknown(_)
+        ));
+        assert!(matches!(
+            smt.check_valid(&env, &l, &r),
+            Validity::Unknown(_)
+        ));
+        assert_eq!(smt.stats.cache_hits, 0);
     }
 
     #[test]

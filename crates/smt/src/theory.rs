@@ -18,8 +18,27 @@ use crate::euf::{Euf, EufResult};
 use crate::simplex::{LpResult, Simplex};
 use crate::term::{Term, TermId};
 use crate::Rat;
-use dsolve_logic::Sort;
+use dsolve_logic::{deadline_expired, Budget, Resource, Sort};
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Resource limits for one theory check (per propositional model).
+#[derive(Clone, Copy, Debug)]
+pub struct TheoryBudget {
+    /// Branch-and-bound node cap for each integer feasibility check.
+    pub bb_nodes: u64,
+    /// Absolute wall-clock deadline, if any.
+    pub deadline: Option<Instant>,
+}
+
+impl Default for TheoryBudget {
+    fn default() -> TheoryBudget {
+        TheoryBudget {
+            bb_nodes: Budget::default().max_bb_nodes,
+            deadline: None,
+        }
+    }
+}
 
 /// Outcome of a theory check over a full assignment.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -29,6 +48,17 @@ pub enum TheoryResult {
     /// Conflict; the payload lists indices into the assignment slice that
     /// together are inconsistent (a minimized core).
     Unsat(Vec<usize>),
+    /// The check's budget ran out before consistency was decided; the
+    /// payload names the exhausted resource.
+    Unknown(Resource),
+}
+
+/// Internal verdict of one consistency probe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Consistency {
+    Sat,
+    Unsat,
+    Unknown(Resource),
 }
 
 /// Checks a full atom assignment for theory consistency.
@@ -40,17 +70,23 @@ pub fn check_assignment(
     atoms: &Atoms,
     assignment: &[(AtomId, bool)],
     minimize: bool,
+    budget: &TheoryBudget,
 ) -> TheoryResult {
     let all: Vec<usize> = (0..assignment.len()).collect();
-    if consistent(atoms, assignment, &all) {
-        return TheoryResult::Sat;
+    match consistent(atoms, assignment, &all, budget) {
+        Consistency::Sat => return TheoryResult::Sat,
+        // The full check could not be decided: neither verdict is safe.
+        Consistency::Unknown(r) => return TheoryResult::Unknown(r),
+        Consistency::Unsat => {}
     }
     if !minimize {
         return TheoryResult::Unsat(all);
     }
     // Chunked deletion minimization: drop halves while the conflict
     // persists, then shrink the chunk size — O(core·log n) checks
-    // instead of O(n) for the typical small core.
+    // instead of O(n) for the typical small core. An Unknown trial keeps
+    // the chunk (the core stays a superset of a real conflict, which is
+    // sound — just less minimal).
     let mut core = all;
     let mut chunk = (core.len() / 2).max(1);
     while chunk >= 1 {
@@ -60,7 +96,7 @@ pub fn check_assignment(
             let mut trial = Vec::with_capacity(core.len());
             trial.extend_from_slice(&core[..i]);
             trial.extend_from_slice(&core[hi..]);
-            if !consistent(atoms, assignment, &trial) {
+            if consistent(atoms, assignment, &trial, budget) == Consistency::Unsat {
                 core = trial;
             } else {
                 i = hi;
@@ -75,7 +111,12 @@ pub fn check_assignment(
 }
 
 /// Whether the subset (`indices` into `assignment`) is theory-consistent.
-fn consistent(atoms: &Atoms, assignment: &[(AtomId, bool)], indices: &[usize]) -> bool {
+fn consistent(
+    atoms: &Atoms,
+    assignment: &[(AtomId, bool)],
+    indices: &[usize],
+    budget: &TheoryBudget,
+) -> Consistency {
     let arena = &atoms.arena;
     let mut euf = Euf::new(arena);
     let mut simplex = Simplex::new();
@@ -120,7 +161,7 @@ fn consistent(atoms: &Atoms, assignment: &[(AtomId, bool)], indices: &[usize]) -
                     if let Some(lin) = lin {
                         if !assert_lin_eq(&mut simplex, &mut var_of, &mut shared, lin, &mut sx_var)
                         {
-                            return false;
+                            return Consistency::Unsat;
                         }
                     }
                 } else {
@@ -141,7 +182,7 @@ fn consistent(atoms: &Atoms, assignment: &[(AtomId, bool)], indices: &[usize]) -
                     assert_lin_le(&mut simplex, &mut var_of, &mut shared, &neg, &mut sx_var)
                 };
                 if !bound_ok {
-                    return false;
+                    return Consistency::Unsat;
                 }
             }
             Atom::BoolTerm(t) => {
@@ -155,7 +196,7 @@ fn consistent(atoms: &Atoms, assignment: &[(AtomId, bool)], indices: &[usize]) -
     let mut sent_to_simplex: HashSet<(TermId, TermId)> = HashSet::new();
     loop {
         if euf.check() == EufResult::Unsat {
-            return false;
+            return Consistency::Unsat;
         }
         // EUF → simplex.
         let mut changed = false;
@@ -168,13 +209,22 @@ fn consistent(atoms: &Atoms, assignment: &[(AtomId, bool)], indices: &[usize]) -
                 if !(simplex.assert_lower(row, Rat::ZERO)
                     && simplex.assert_upper(row, Rat::ZERO))
                 {
-                    return false;
+                    return Consistency::Unsat;
                 }
                 changed = true;
             }
         }
-        if simplex.check_int() == LpResult::Unsat {
-            return false;
+        match simplex.check_int_within(budget.bb_nodes, budget.deadline) {
+            LpResult::Unsat => return Consistency::Unsat,
+            LpResult::Unknown => {
+                let r = if deadline_expired(budget.deadline) {
+                    Resource::Deadline
+                } else {
+                    Resource::BranchBoundNodes
+                };
+                return Consistency::Unknown(r);
+            }
+            LpResult::Sat => {}
         }
         // Simplex → EUF: implied equalities among shared terms. Only
         // pairs EUF could *use* matter: arguments of uninterpreted
@@ -204,7 +254,7 @@ fn consistent(atoms: &Atoms, assignment: &[(AtomId, bool)], indices: &[usize]) -
             }
         }
         if !new_eq && !changed {
-            return true;
+            return Consistency::Sat;
         }
         if !new_eq && changed {
             // Equalities were forwarded but nothing came back; one more
@@ -337,7 +387,7 @@ mod tests {
         let env = env();
         let (atoms, lits) = lits_of(&["x < y", "y < x"], &env);
         assert!(matches!(
-            check_assignment(&atoms, &lits, true),
+            check_assignment(&atoms, &lits, true, &TheoryBudget::default()),
             TheoryResult::Unsat(_)
         ));
     }
@@ -346,7 +396,7 @@ mod tests {
     fn arithmetic_sat() {
         let env = env();
         let (atoms, lits) = lits_of(&["x < y", "y < z"], &env);
-        assert_eq!(check_assignment(&atoms, &lits, true), TheoryResult::Sat);
+        assert_eq!(check_assignment(&atoms, &lits, true, &TheoryBudget::default()), TheoryResult::Sat);
     }
 
     #[test]
@@ -354,7 +404,7 @@ mod tests {
         let env = env();
         let (atoms, lits) = lits_of(&["x = y", "f(x) != f(y)"], &env);
         assert!(matches!(
-            check_assignment(&atoms, &lits, true),
+            check_assignment(&atoms, &lits, true, &TheoryBudget::default()),
             TheoryResult::Unsat(_)
         ));
     }
@@ -365,7 +415,7 @@ mod tests {
         let env = env();
         let (atoms, lits) = lits_of(&["x <= y", "y <= x", "f(x) != f(y)"], &env);
         assert!(matches!(
-            check_assignment(&atoms, &lits, true),
+            check_assignment(&atoms, &lits, true, &TheoryBudget::default()),
             TheoryResult::Unsat(_)
         ));
     }
@@ -376,7 +426,7 @@ mod tests {
         let env = env();
         let (atoms, lits) = lits_of(&["x <= 0", "0 <= x", "x != 0"], &env);
         assert!(matches!(
-            check_assignment(&atoms, &lits, true),
+            check_assignment(&atoms, &lits, true, &TheoryBudget::default()),
             TheoryResult::Unsat(_)
         ));
     }
@@ -387,7 +437,7 @@ mod tests {
         let env = env();
         let (atoms, lits) = lits_of(&["x = y", "y < x"], &env);
         assert!(matches!(
-            check_assignment(&atoms, &lits, true),
+            check_assignment(&atoms, &lits, true, &TheoryBudget::default()),
             TheoryResult::Unsat(_)
         ));
     }
@@ -396,7 +446,7 @@ mod tests {
     fn minimized_core_is_small() {
         let env = env();
         let (atoms, lits) = lits_of(&["x < y", "z < w", "y < x"], &env);
-        let TheoryResult::Unsat(core) = check_assignment(&atoms, &lits, true) else {
+        let TheoryResult::Unsat(core) = check_assignment(&atoms, &lits, true, &TheoryBudget::default()) else {
             panic!("expected conflict");
         };
         // The z < w literal is irrelevant.
@@ -405,10 +455,30 @@ mod tests {
     }
 
     #[test]
+    fn exhausted_bb_budget_is_unknown_not_sat() {
+        // 2x = 1 (as x + x = 1) forces integer branching; a zero-node
+        // budget must answer Unknown, never a silent Sat.
+        let env = env();
+        let (atoms, lits) = lits_of(&["x + x = 1"], &env);
+        let starved = TheoryBudget {
+            bb_nodes: 0,
+            deadline: None,
+        };
+        assert_eq!(
+            check_assignment(&atoms, &lits, true, &starved),
+            TheoryResult::Unknown(Resource::BranchBoundNodes)
+        );
+        assert!(matches!(
+            check_assignment(&atoms, &lits, true, &TheoryBudget::default()),
+            TheoryResult::Unsat(_)
+        ));
+    }
+
+    #[test]
     fn obj_disequality_sat() {
         let env = env();
         let (atoms, lits) = lits_of(&["p != q"], &env);
-        assert_eq!(check_assignment(&atoms, &lits, true), TheoryResult::Sat);
+        assert_eq!(check_assignment(&atoms, &lits, true, &TheoryBudget::default()), TheoryResult::Sat);
     }
 
     #[test]
@@ -416,7 +486,7 @@ mod tests {
         let env = env();
         let (atoms, lits) = lits_of(&["p = q", "p != q"], &env);
         assert!(matches!(
-            check_assignment(&atoms, &lits, true),
+            check_assignment(&atoms, &lits, true, &TheoryBudget::default()),
             TheoryResult::Unsat(_)
         ));
     }

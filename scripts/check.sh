@@ -1,0 +1,20 @@
+#!/bin/bash
+# Offline repository health check: release build, full test suite, and
+# lints, in that order. Needs no network — criterion/proptest are
+# vendored stubs and the benches are feature-gated.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "== cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "== cargo build --release -p dsolve-bench --features bench --benches"
+cargo build --release -p dsolve-bench --features bench --benches
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "check.sh: all green"
