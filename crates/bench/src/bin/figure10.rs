@@ -3,37 +3,69 @@
 //! the paper's numbers for comparison.
 //!
 //! ```text
-//! cargo run --release -p dsolve-bench --bin figure10 [--timeout <secs>] [names...]
+//! cargo run --release -p dsolve-bench --bin figure10 \
+//!     [--timeout <secs>] [--jobs <n>] [--json <path>] [names...]
 //! ```
 //!
 //! Each benchmark runs under panic isolation: a pathological module
 //! reports `UNKNOWN (panic …)` and the suite keeps going. `--timeout`
 //! bounds every job's wall clock; exhausted budgets likewise surface as
-//! `UNKNOWN` rows instead of hanging the table.
+//! `UNKNOWN` rows instead of hanging the table. `--jobs` sets the
+//! fixpoint worker count (0 = one per CPU). `--json` writes a
+//! machine-readable record per benchmark (wall time, SMT queries, cache
+//! hits, jobs) for trend tracking — see `BENCH_figure10.json`.
 
 use dsolve::{JobError, Row, Status, Table};
 use dsolve_bench::{load, BENCHMARKS};
+use std::fmt::Write as _;
 use std::time::Duration;
+
+/// One benchmark's machine-readable record.
+struct JsonRow {
+    name: String,
+    outcome: String,
+    wall_s: f64,
+    smt_queries: u64,
+    cache_hits: u64,
+    cache_lookups: u64,
+    jobs: usize,
+}
 
 fn main() {
     let mut timeout: Option<u64> = None;
+    let mut jobs: Option<usize> = None;
+    let mut json_path: Option<String> = None;
     let mut filter: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--timeout" {
-            match args.next().and_then(|s| s.parse::<u64>().ok()) {
+        match a.as_str() {
+            "--timeout" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
                 Some(secs) => timeout = Some(secs),
                 None => {
                     eprintln!("figure10: --timeout needs a number of seconds");
                     std::process::exit(3);
                 }
-            }
-        } else {
-            filter.push(a);
+            },
+            "--jobs" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) => jobs = Some(n),
+                None => {
+                    eprintln!("figure10: --jobs needs a worker count");
+                    std::process::exit(3);
+                }
+            },
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("figure10: --json needs a path");
+                    std::process::exit(3);
+                }
+            },
+            _ => filter.push(a),
         }
     }
 
     let mut table = Table::new();
+    let mut records: Vec<JsonRow> = Vec::new();
     println!("Reproducing Fig. 10 (paper numbers in brackets)\n");
     for b in BENCHMARKS {
         if !filter.is_empty() && !filter.iter().any(|f| f == b.name) {
@@ -44,6 +76,9 @@ fn main() {
             Ok(mut j) => {
                 if let Some(secs) = timeout {
                     j.config.budget.timeout = Some(Duration::from_secs(secs));
+                }
+                if let Some(n) = jobs {
+                    j.config.jobs = n;
                 }
                 j
             }
@@ -59,6 +94,15 @@ fn main() {
                 // not take down the rest of the suite.
                 eprintln!("{e}");
                 table.push(error_row(b.name, b.properties, &e));
+                records.push(JsonRow {
+                    name: b.name.into(),
+                    outcome: format!("{}", e.outcome()),
+                    wall_s: 0.0,
+                    smt_queries: 0,
+                    cache_hits: 0,
+                    cache_lookups: 0,
+                    jobs: jobs.unwrap_or(0),
+                });
             }
             Ok(res) => {
                 eprintln!(
@@ -72,6 +116,15 @@ fn main() {
                         eprintln!("    {e}");
                     }
                 }
+                records.push(JsonRow {
+                    name: b.name.into(),
+                    outcome: format!("{}", res.outcome()),
+                    wall_s: res.time.as_secs_f64(),
+                    smt_queries: res.result.stats.smt_queries,
+                    cache_hits: res.result.stats.cache_hits,
+                    cache_lookups: res.result.stats.cache_lookups,
+                    jobs: res.result.stats.jobs,
+                });
                 table.push(Row::from_result(
                     format!(
                         "{} [{} LOC, {} ann, {}s]",
@@ -84,9 +137,36 @@ fn main() {
         }
     }
     println!("{table}");
+    if let Some(path) = json_path {
+        let json = render_json(&records);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("figure10: cannot write `{path}`: {e}");
+            std::process::exit(3);
+        }
+        eprintln!("wrote {path}");
+    }
     if !table.all_safe() {
         std::process::exit(1);
     }
+}
+
+/// Renders the records as a JSON array (hand-rolled: every field is a
+/// number or a known-shape string, so no escaping machinery is needed).
+fn render_json(records: &[JsonRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        // The outcome can carry an exhaustion detail with quotes-free
+        // text; keep only the leading word to stay safely quotable.
+        let outcome = r.outcome.split([':', ' ']).next().unwrap_or("UNKNOWN");
+        let _ = writeln!(
+            out,
+            "  {{\"name\": \"{}\", \"outcome\": \"{}\", \"wall_s\": {:.3}, \"smt_queries\": {}, \"cache_hits\": {}, \"cache_lookups\": {}, \"jobs\": {}}}{}",
+            r.name, outcome, r.wall_s, r.smt_queries, r.cache_hits, r.cache_lookups, r.jobs, sep
+        );
+    }
+    out.push_str("]\n");
+    out
 }
 
 fn error_row(name: &str, properties: &str, e: &JobError) -> Row {

@@ -3,12 +3,14 @@
 //! ```text
 //! dsolve <module.ml> [--quals <file>] [--mlq <file>] [--annot]
 //!        [--annot-out <file>] [--stats]
-//!        [--timeout <secs>] [--max-smt-queries <n>]
+//!        [--timeout <secs>] [--max-smt-queries <n>] [--jobs <n>]
 //! ```
 //!
 //! `--annot-out` writes the inferred liquid types to a `.annot` file, as
 //! the original DSOLVE did. `--timeout` and `--max-smt-queries` bound
 //! the run; an exhausted budget reports `UNKNOWN` with the reason.
+//! `--jobs` sets the fixpoint worker count (default: one per available
+//! CPU; `--jobs 1` selects the sequential solver).
 //!
 //! By default `<module>.quals` and `<module>.mlq` next to the module are
 //! used when present. Exit status: 0 = safe, 1 = unsafe, 2 = unknown
@@ -20,7 +22,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: dsolve <module.ml> [--quals <file>] [--mlq <file>] [--annot] [--annot-out <file>] [--stats] [--timeout <secs>] [--max-smt-queries <n>]"
+        "usage: dsolve <module.ml> [--quals <file>] [--mlq <file>] [--annot] [--annot-out <file>] [--stats] [--timeout <secs>] [--max-smt-queries <n>] [--jobs <n>]"
     );
     ExitCode::from(3)
 }
@@ -35,6 +37,7 @@ fn main() -> ExitCode {
     let mut stats = false;
     let mut timeout: Option<u64> = None;
     let mut max_smt_queries: Option<u64> = None;
+    let mut jobs: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -59,6 +62,10 @@ fn main() -> ExitCode {
             "--max-smt-queries" => match it.next().and_then(|s| s.parse::<u64>().ok()) {
                 Some(n) => max_smt_queries = Some(n),
                 None => return usage(),
+            },
+            "--jobs" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n > 0 => jobs = Some(n),
+                _ => return usage(),
             },
             "--help" | "-h" => {
                 usage();
@@ -101,6 +108,9 @@ fn main() -> ExitCode {
     if let Some(n) = max_smt_queries {
         job.config.budget.max_smt_queries = Some(n);
     }
+    if let Some(n) = jobs {
+        job.config.jobs = n;
+    }
 
     match job.run_isolated() {
         Err(e @ JobError::Panic(_)) => {
@@ -142,6 +152,17 @@ fn main() -> ExitCode {
                     res.result.gen_time.as_secs_f64(),
                     res.result.stats.fixpoint_time.as_secs_f64(),
                     res.result.stats.obligation_time.as_secs_f64()
+                );
+                let s = &res.result.stats;
+                eprintln!(
+                    "jobs={} rounds={} max_partition={} cache_hits={}/{} ({:.1}%) worker_queries={:?}",
+                    s.jobs,
+                    s.rounds,
+                    s.max_partition,
+                    s.cache_hits,
+                    s.cache_lookups,
+                    100.0 * s.cache_hit_rate(),
+                    s.worker_queries
                 );
             }
             use dsolve_logic::Outcome;

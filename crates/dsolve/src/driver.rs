@@ -207,17 +207,34 @@ impl Job {
                     if let Some(inst) =
                         dsolve_nanoml::match_instantiation(&scheme, &spec_shape)
                     {
-                        let map: std::collections::HashMap<u32, dsolve_nanoml::MlType> =
-                            b.scheme
-                                .vars
-                                .iter()
-                                .copied()
-                                .zip(inst)
-                                .filter(|(v, t)| *t != dsolve_nanoml::MlType::Var(*v))
-                                .collect();
+                        // Split the instantiation into renamings (spec
+                        // variable for inferred variable — the binding
+                        // stays polymorphic under the spec's ids) and
+                        // proper specializations (the quantifier is
+                        // dropped). Renamings must keep their target in
+                        // `vars`: dropping it would leave a free type
+                        // variable that can never be instantiated at
+                        // occurrences.
+                        let mut map = std::collections::HashMap::new();
+                        let mut vars: Vec<u32> = Vec::new();
+                        for (v, t) in b.scheme.vars.iter().copied().zip(inst) {
+                            match t {
+                                dsolve_nanoml::MlType::Var(u) => {
+                                    if u != v {
+                                        map.insert(v, dsolve_nanoml::MlType::Var(u));
+                                    }
+                                    if !vars.contains(&u) {
+                                        vars.push(u);
+                                    }
+                                }
+                                t => {
+                                    map.insert(v, t);
+                                }
+                            }
+                        }
                         if !map.is_empty() {
                             b.scheme.ty = b.scheme.ty.apply(&map);
-                            b.scheme.vars.retain(|v| !map.contains_key(v));
+                            b.scheme.vars = vars;
                             dsolve_nanoml::apply_types(&mut b.rhs, &map);
                         }
                     }

@@ -254,7 +254,7 @@ impl SpecParser<'_> {
         };
         let body = self.block(eq_tail);
         let mut cases = HashMap::new();
-        for clause in body.split('|').map(str::trim).filter(|s| !s.is_empty()) {
+        for clause in split_cases(&body).into_iter().map(str::trim).filter(|s| !s.is_empty()) {
             let (pat, expr) = clause
                 .split_once("->")
                 .ok_or_else(|| self.err("missing `->` in measure case"))?;
@@ -296,7 +296,7 @@ impl SpecParser<'_> {
         let body = self.block(eq_tail);
         let mut rho = Rho::top();
         let mut inner: BTreeMap<(usize, usize), Rho> = BTreeMap::new();
-        for clause in split_top(&body, '|') {
+        for clause in split_cases(&body) {
             let clause = clause.trim();
             if clause.is_empty() {
                 continue;
@@ -388,7 +388,7 @@ impl SpecParser<'_> {
         to_up: &Subst,
     ) -> Result<Rho, SpecError> {
         let mut m = Rho::top();
-        for clause in split_top(src, '|') {
+        for clause in split_cases(src) {
             let clause = clause.trim();
             if clause.is_empty() {
                 continue;
@@ -471,6 +471,35 @@ impl SpecParser<'_> {
             scheme: RScheme { vars, ty },
         })
     }
+}
+
+/// Splits case clauses on `|` at bracket depth zero, treating `||` as
+/// the disjunction operator (never a clause separator) — measure and rho
+/// bodies may contain arbitrary predicates.
+fn split_cases(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    let b = s.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'[' | b'(' | b'{' => depth += 1,
+            b']' | b')' | b'}' => depth -= 1,
+            b'|' if depth == 0 => {
+                if i + 1 < b.len() && b[i + 1] == b'|' {
+                    i += 1;
+                } else {
+                    out.push(&s[start..i]);
+                    start = i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out.push(&s[start..]);
+    out
 }
 
 /// Splits on `sep` at nesting depth zero (w.r.t. `[({` brackets).

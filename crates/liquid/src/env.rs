@@ -5,7 +5,7 @@ use crate::rtype::{KVar, RScheme, RType, Refinement};
 use dsolve_logic::{Expr, Pred, Sort, SortEnv, Symbol};
 use dsolve_nanoml::{DataEnv, MlType};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Immutable global context shared by the whole verification run.
 #[derive(Clone)]
@@ -37,7 +37,7 @@ impl GlobalEnv {
 /// into constraints).
 #[derive(Clone, Default)]
 pub struct LiquidEnv {
-    node: Option<Rc<EnvNode>>,
+    node: Option<Arc<EnvNode>>,
 }
 
 enum EnvItem {
@@ -47,7 +47,7 @@ enum EnvItem {
 
 struct EnvNode {
     item: EnvItem,
-    prev: Option<Rc<EnvNode>>,
+    prev: Option<Arc<EnvNode>>,
     len: usize,
 }
 
@@ -67,7 +67,7 @@ impl LiquidEnv {
     #[must_use]
     pub fn bind_scheme(&self, x: Symbol, s: RScheme) -> LiquidEnv {
         LiquidEnv {
-            node: Some(Rc::new(EnvNode {
+            node: Some(Arc::new(EnvNode {
                 item: EnvItem::Bind(x, s),
                 len: self.len() + 1,
                 prev: self.node.clone(),
@@ -82,7 +82,7 @@ impl LiquidEnv {
             return self.clone();
         }
         LiquidEnv {
-            node: Some(Rc::new(EnvNode {
+            node: Some(Arc::new(EnvNode {
                 item: EnvItem::Guard(p),
                 len: self.len() + 1,
                 prev: self.node.clone(),

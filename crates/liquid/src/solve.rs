@@ -8,6 +8,21 @@
 //! qualifiers the left side fails to imply; the process is monotone and
 //! terminates. Constraints with concrete right sides are verified under
 //! the final assignment and produce the reported errors.
+//!
+//! # Parallel mode
+//!
+//! With `jobs > 1` the solver runs the fixpoint in *rounds*: the pending
+//! worklist is drained, partitioned into groups of constraints with
+//! disjoint **write** κ-sets (constraints writing a common κ always land
+//! in the same partition), and each partition is checked on its own
+//! worker thread against a read-only snapshot of the assignment. Reads
+//! may cross partitions and see one-round-stale values; that is ordinary
+//! chaotic iteration of a monotone operator — every constraint reading a
+//! changed κ is re-enqueued after the merge, so the iteration still
+//! converges to the same greatest fixpoint the sequential schedule
+//! finds. Weakenings are merged in deterministic (worker, κ) order, and
+//! all workers share one [`QueryCache`] and one atomic query counter so
+//! `--max-smt-queries` caps the *total* across threads.
 
 use crate::constraint::{LiquidError, SubC};
 use crate::env::{GlobalEnv, KEnv};
@@ -16,12 +31,14 @@ use dsolve_logic::{
     deadline_expired, instantiate_all, Budget, Exhaustion, Outcome, Phase, Pred, Qualifier,
     Resource, Symbol,
 };
-use dsolve_smt::{SmtSolver, SolverConfig, Validity};
+use dsolve_smt::{QueryCache, SmtSolver, SolverConfig, Validity};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Statistics from a solver run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SolveStats {
     /// Number of liquid variables.
     pub kvars: usize,
@@ -35,6 +52,31 @@ pub struct SolveStats {
     pub fixpoint_time: Duration,
     /// Wall-clock time spent checking concrete obligations.
     pub obligation_time: Duration,
+    /// Worker threads used (1 = sequential).
+    pub jobs: usize,
+    /// Parallel fixpoint rounds (0 in sequential mode).
+    pub rounds: u64,
+    /// Constraints in the largest single partition of any round.
+    pub max_partition: usize,
+    /// SMT queries issued per worker (index = worker id).
+    pub worker_queries: Vec<u64>,
+    /// Constraint checks per worker (aggregate partition sizes).
+    pub worker_checks: Vec<u64>,
+    /// Validity-cache hits across all workers.
+    pub cache_hits: u64,
+    /// Validity-cache lookups across all workers.
+    pub cache_lookups: u64,
+}
+
+impl SolveStats {
+    /// Cache hit rate in `[0, 1]` (0 when no lookups happened).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
 }
 
 /// The result of solving.
@@ -80,10 +122,244 @@ pub struct SolveConfig {
     /// Resource limits for the whole run (deadline, query cap, fixpoint
     /// iteration cap, per-query search caps).
     pub budget: Budget,
+    /// Fixpoint worker threads: `0` = one per available CPU, `1` = the
+    /// sequential solver, `n` = exactly `n` workers.
+    pub jobs: usize,
+}
+
+/// Resolves `config.jobs` (`0` = available parallelism).
+pub fn effective_jobs(config: &SolveConfig) -> usize {
+    match config.jobs {
+        0 => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        n => n,
+    }
 }
 
 /// Runs the iterative-weakening fixpoint.
 pub fn solve(
+    genv: &GlobalEnv,
+    kenv: &KEnv,
+    subs: &[SubC],
+    quals: &[Qualifier],
+    config: &SolveConfig,
+) -> Solution {
+    let jobs = effective_jobs(config);
+    if jobs <= 1 {
+        solve_sequential(genv, kenv, subs, quals, config)
+    } else {
+        solve_parallel(genv, kenv, subs, quals, config, jobs)
+    }
+}
+
+/// The initial assignment: all well-sorted qualifier instantiations per
+/// κ scope.
+fn initial_assignment(
+    kenv: &KEnv,
+    quals: &[Qualifier],
+    stats: &mut SolveStats,
+) -> HashMap<KVar, Vec<Pred>> {
+    let mut assignment: HashMap<KVar, Vec<Pred>> = HashMap::new();
+    for k in kenv.kvars() {
+        let info = kenv.info(k).expect("registered kvar");
+        let insts = instantiate_all(quals, &info.scope, &info.nu_sort);
+        stats.initial_quals += insts.len();
+        assignment.insert(k, insts);
+    }
+    stats.kvars = assignment.len();
+    assignment
+}
+
+/// A read view over the assignment: a base map plus (in workers) a local
+/// overlay holding this partition's own weakenings.
+struct View<'a> {
+    base: &'a HashMap<KVar, Vec<Pred>>,
+    local: Option<&'a HashMap<KVar, Vec<Pred>>>,
+}
+
+impl View<'_> {
+    fn get(&self, k: KVar) -> Vec<Pred> {
+        if let Some(local) = self.local {
+            if let Some(v) = local.get(&k) {
+                return v.clone();
+            }
+        }
+        self.base.get(&k).cloned().unwrap_or_default()
+    }
+
+    fn pred_of(&self, k: KVar) -> Pred {
+        Pred::and(self.get(k))
+    }
+}
+
+/// Checks one constraint, weakening the κs on its right side. Returns
+/// `(κ, survivors)` for every κ whose candidate set shrank.
+fn weaken_constraint(
+    genv: &GlobalEnv,
+    c: &SubC,
+    view: &View<'_>,
+    smt: &mut SmtSolver,
+    stats: &mut SolveStats,
+) -> Vec<(KVar, Vec<Pred>)> {
+    let lookup = |k: KVar| view.pred_of(k);
+    let (mut sorts, antecedent) = c.env.embed(genv, &lookup);
+    bind_nu(&mut sorts, &c.nu_shape);
+    let lhs = filter_wellsorted(&sorts, c.lhs.concretize(&lookup));
+
+    // Check each κ atom on the right; collect survivors.
+    let mut weakened: Vec<(KVar, Vec<Pred>)> = Vec::new();
+    for (theta, atom) in &c.rhs.atoms {
+        let RefAtom::KVar(k) = atom else { continue };
+        let quals_k = view.get(*k);
+        if quals_k.is_empty() {
+            continue;
+        }
+        // Relevance pruning: during weakening, restrict the
+        // antecedent to conjuncts transitively sharing variables
+        // with the left side and the candidate qualifiers. Always
+        // sound (weakens the antecedent); dramatically shrinks the
+        // per-query formulas.
+        let rhs_preds: Vec<Pred> = quals_k.iter().map(|q| theta.apply_pred(q)).collect();
+        let mut seeds: std::collections::BTreeSet<Symbol> = lhs.free_vars();
+        for p in &rhs_preds {
+            seeds.extend(p.free_vars());
+        }
+        let no_prune = std::env::var_os("DSOLVE_NO_PRUNE").is_some();
+        let pruned = if no_prune {
+            antecedent.clone()
+        } else {
+            prune_conjuncts(antecedent.clone(), &mut seeds)
+        };
+        let lhs_full = Pred::and(vec![pruned, lhs.clone()]);
+        // Pruning is a fast path, not a semantics: failures are
+        // retried against the full antecedent before a qualifier is
+        // dropped for good.
+        let lhs_unpruned = Pred::and(vec![antecedent.clone(), lhs.clone()]);
+        let lhs_conjuncts: std::collections::HashSet<Pred> =
+            lhs_full.clone().conjuncts().into_iter().collect();
+        // Partition the candidates: syntactic hits, ill-sorted
+        // transports, and the rest — checked in bisected groups
+        // (most candidates survive most checks, so testing the whole
+        // conjunction first usually costs a single query).
+        let mut kept = Vec::with_capacity(quals_k.len());
+        let mut to_check: Vec<(Pred, Pred)> = Vec::new();
+        let prev_len = quals_k.len();
+        for (q, rhs_q) in quals_k.into_iter().zip(rhs_preds) {
+            if lhs_conjuncts.contains(&rhs_q) {
+                kept.push(q);
+            } else if sorts.wellsorted(&rhs_q) {
+                to_check.push((q, rhs_q));
+            }
+        }
+        check_group(
+            smt,
+            &sorts,
+            &lhs_full,
+            Some(&lhs_unpruned),
+            &to_check,
+            &mut kept,
+            stats,
+        );
+        if kept.len() < prev_len {
+            if std::env::var_os("DSOLVE_TRACE").is_some() {
+                let removed: Vec<String> = view
+                    .get(*k)
+                    .iter()
+                    .filter(|q| !kept.contains(q))
+                    .map(ToString::to_string)
+                    .collect();
+                let lhs_state: Vec<String> = c
+                    .lhs
+                    .kvars()
+                    .iter()
+                    .map(|lk| format!("{lk}={}", view.pred_of(*lk)))
+                    .collect();
+                eprintln!(
+                    "weaken {k} at [{}]: drop {removed:?}\n    lhs: {lhs_full}\n    raw-lhs: {} raw-rhs: {}\n    lhs-assignment: {lhs_state:?}",
+                    c.origin, c.lhs, c.rhs
+                );
+            }
+            weakened.push((*k, kept));
+        }
+    }
+    weakened
+}
+
+/// Checks the concrete right-hand conjuncts of one constraint under the
+/// final assignment. Returns the errors and the first exhaustion hit.
+fn check_obligations(
+    genv: &GlobalEnv,
+    c: &SubC,
+    assignment: &HashMap<KVar, Vec<Pred>>,
+    smt: &mut SmtSolver,
+    stats: &mut SolveStats,
+) -> (Vec<LiquidError>, Option<Exhaustion>) {
+    let mut errors = Vec::new();
+    let mut exhaustion: Option<Exhaustion> = None;
+    let lookup =
+        |k: KVar| Pred::and(assignment.get(&k).cloned().unwrap_or_default());
+    let (mut sorts, antecedent) = c.env.embed(genv, &lookup);
+    bind_nu(&mut sorts, &c.nu_shape);
+    let lhs = filter_wellsorted(&sorts, c.lhs.concretize(&lookup));
+    let lhs_full = Pred::and(vec![antecedent, lhs]);
+    for (theta, atom) in &c.rhs.atoms {
+        let RefAtom::Conc(p) = atom else { continue };
+        let rhs = theta.apply_pred(p);
+        if !sorts.wellsorted(&rhs) {
+            errors.push(LiquidError {
+                msg: format!("obligation `{rhs}` is ill-sorted"),
+                origin: Some(c.origin.clone()),
+            });
+            continue;
+        }
+        stats.smt_queries += 1;
+        match smt.check_valid(&sorts, &lhs_full, &rhs) {
+            Validity::Valid => continue,
+            Validity::Unknown(e) => {
+                // The obligation is neither proven nor refuted:
+                // report it as unproven and taint the outcome.
+                errors.push(LiquidError {
+                    msg: format!("obligation `{rhs}` unproven: {e}"),
+                    origin: Some(c.origin.clone()),
+                });
+                exhaustion.get_or_insert(e);
+                continue;
+            }
+            Validity::Invalid => {}
+        }
+        {
+            let msg = if std::env::var_os("DSOLVE_DEBUG").is_some() {
+                let ks: Vec<String> = c
+                    .lhs
+                    .kvars()
+                    .iter()
+                    .map(|lk| {
+                        format!(
+                            "{lk}={}",
+                            Pred::and(assignment.get(lk).cloned().unwrap_or_default())
+                        )
+                    })
+                    .collect();
+                format!(
+                    "cannot prove `{rhs}`\n    from: {lhs_full}\n    raw: {} | {ks:?}",
+                    c.lhs
+                )
+            } else {
+                format!("cannot prove `{rhs}`")
+            };
+            errors.push(LiquidError {
+                msg,
+                origin: Some(c.origin.clone()),
+            });
+        }
+    }
+    (errors, exhaustion)
+}
+
+/// The single-threaded solver (`--jobs 1`): one worklist, one SMT
+/// solver, immediate (Gauss–Seidel) assignment updates.
+fn solve_sequential(
     genv: &GlobalEnv,
     kenv: &KEnv,
     subs: &[SubC],
@@ -101,21 +377,16 @@ pub fn solve(
     smt.set_deadline(deadline);
     let mut exhaustion: Option<Exhaustion> = None;
     let fixpoint_start = Instant::now();
-    let mut stats = SolveStats::default();
+    let mut stats = SolveStats {
+        jobs: 1,
+        ..SolveStats::default()
+    };
     let progress = std::env::var_os("DSOLVE_PROGRESS").is_some();
     if progress {
         eprintln!("solve: {} constraints, {} kvars", subs.len(), kenv.len());
     }
 
-    // Initial assignment: all well-sorted instantiations per κ scope.
-    let mut assignment: HashMap<KVar, Vec<Pred>> = HashMap::new();
-    for k in kenv.kvars() {
-        let info = kenv.info(k).expect("registered kvar");
-        let insts = instantiate_all(quals, &info.scope, &info.nu_sort);
-        stats.initial_quals += insts.len();
-        assignment.insert(k, insts);
-    }
-    stats.kvars = assignment.len();
+    let mut assignment = initial_assignment(kenv, quals, &mut stats);
     if progress {
         eprintln!("solve: initial quals = {}", stats.initial_quals);
     }
@@ -140,7 +411,7 @@ pub fn solve(
     while let Some(ci) = queue.pop_front() {
         queued.remove(&ci);
         stats.iterations += 1;
-        if progress && stats.iterations % 50 == 0 {
+        if progress && stats.iterations.is_multiple_of(50) {
             eprintln!(
                 "fixpoint: iter={} queue={} smt={} at [{}]",
                 stats.iterations,
@@ -163,101 +434,11 @@ pub fn solve(
             exhaustion = Some(Exhaustion::new(Phase::Fixpoint, Resource::Deadline));
             break;
         }
-        let c = &subs[ci];
-        let lookup = |k: KVar| {
-            Pred::and(assignment.get(&k).cloned().unwrap_or_default())
+        let view = View {
+            base: &assignment,
+            local: None,
         };
-        let (mut sorts, antecedent) = c.env.embed(genv, &lookup);
-        bind_nu(&mut sorts, &c.nu_shape);
-        let lhs = filter_wellsorted(&sorts, c.lhs.concretize(&lookup));
-
-        // Check each κ atom on the right; collect survivors.
-        let mut weakened: Vec<(KVar, Vec<Pred>)> = Vec::new();
-        for (theta, atom) in &c.rhs.atoms {
-            let RefAtom::KVar(k) = atom else { continue };
-            let quals_k = assignment.get(k).cloned().unwrap_or_default();
-            if quals_k.is_empty() {
-                continue;
-            }
-            // Relevance pruning: during weakening, restrict the
-            // antecedent to conjuncts transitively sharing variables
-            // with the left side and the candidate qualifiers. Always
-            // sound (weakens the antecedent); dramatically shrinks the
-            // per-query formulas.
-            let rhs_preds: Vec<Pred> =
-                quals_k.iter().map(|q| theta.apply_pred(q)).collect();
-            let mut seeds: std::collections::BTreeSet<Symbol> = lhs.free_vars();
-            for p in &rhs_preds {
-                seeds.extend(p.free_vars());
-            }
-            let no_prune = std::env::var_os("DSOLVE_NO_PRUNE").is_some();
-            let pruned = if no_prune {
-                antecedent.clone()
-            } else {
-                prune_conjuncts(antecedent.clone(), &mut seeds)
-            };
-            let lhs_full = Pred::and(vec![pruned, lhs.clone()]);
-            // Pruning is a fast path, not a semantics: failures are
-            // retried against the full antecedent before a qualifier is
-            // dropped for good.
-            let lhs_unpruned = Pred::and(vec![antecedent.clone(), lhs.clone()]);
-            let lhs_conjuncts: std::collections::HashSet<Pred> =
-                lhs_full.clone().conjuncts().into_iter().collect();
-            // Partition the candidates: syntactic hits, ill-sorted
-            // transports, and the rest — checked in bisected groups
-            // (most candidates survive most checks, so testing the whole
-            // conjunction first usually costs a single query).
-            let mut kept = Vec::with_capacity(quals_k.len());
-            let mut to_check: Vec<(Pred, Pred)> = Vec::new();
-            for (q, rhs_q) in quals_k.into_iter().zip(rhs_preds) {
-                if lhs_conjuncts.contains(&rhs_q) {
-                    kept.push(q);
-                } else if sorts.wellsorted(&rhs_q) {
-                    to_check.push((q, rhs_q));
-                }
-            }
-            check_group(
-                &mut smt,
-                &sorts,
-                &lhs_full,
-                Some(&lhs_unpruned),
-                &to_check,
-                &mut kept,
-                &mut stats,
-            );
-            let prev_len = assignment.get(k).map_or(0, Vec::len);
-            if kept.len() < prev_len {
-                if std::env::var_os("DSOLVE_TRACE").is_some() {
-                    let removed: Vec<String> = assignment
-                        .get(k)
-                        .map(|qs| {
-                            qs.iter()
-                                .filter(|q| !kept.contains(q))
-                                .map(ToString::to_string)
-                                .collect()
-                        })
-                        .unwrap_or_default();
-                    let lhs_state: Vec<String> = c
-                        .lhs
-                        .kvars()
-                        .iter()
-                        .map(|lk| {
-                            format!(
-                                "{lk}={}",
-                                Pred::and(
-                                    assignment.get(lk).cloned().unwrap_or_default()
-                                )
-                            )
-                        })
-                        .collect();
-                    eprintln!(
-                        "weaken {k} at [{}]: drop {removed:?}\n    lhs: {lhs_full}\n    raw-lhs: {} raw-rhs: {}\n    lhs-assignment: {lhs_state:?}",
-                        c.origin, c.lhs, c.rhs
-                    );
-                }
-                weakened.push((*k, kept));
-            }
-        }
+        let weakened = weaken_constraint(genv, &subs[ci], &view, &mut smt, &mut stats);
         for (k, kept) in weakened {
             assignment.insert(k, kept);
             for &r in readers.get(&k).map(Vec::as_slice).unwrap_or(&[]) {
@@ -286,69 +467,361 @@ pub fn solve(
         if !has_conc {
             continue;
         }
-        let lookup = |k: KVar| {
-            Pred::and(assignment.get(&k).cloned().unwrap_or_default())
-        };
-        let (mut sorts, antecedent) = c.env.embed(genv, &lookup);
-        bind_nu(&mut sorts, &c.nu_shape);
-        let lhs = filter_wellsorted(&sorts, c.lhs.concretize(&lookup));
-        let lhs_full = Pred::and(vec![antecedent, lhs]);
-        for (theta, atom) in &c.rhs.atoms {
-            let RefAtom::Conc(p) = atom else { continue };
-            let rhs = theta.apply_pred(p);
-            if !sorts.wellsorted(&rhs) {
-                errors.push(LiquidError {
-                    msg: format!("obligation `{rhs}` is ill-sorted"),
-                    origin: Some(c.origin.clone()),
-                });
-                continue;
-            }
-            stats.smt_queries += 1;
-            match smt.check_valid(&sorts, &lhs_full, &rhs) {
-                Validity::Valid => continue,
-                Validity::Unknown(e) => {
-                    // The obligation is neither proven nor refuted:
-                    // report it as unproven and taint the outcome.
-                    errors.push(LiquidError {
-                        msg: format!("obligation `{rhs}` unproven: {e}"),
-                        origin: Some(c.origin.clone()),
-                    });
-                    exhaustion.get_or_insert(e);
-                    continue;
-                }
-                Validity::Invalid => {}
-            }
-            {
-                let msg = if std::env::var_os("DSOLVE_DEBUG").is_some() {
-                    let ks: Vec<String> = c
-                        .lhs
-                        .kvars()
-                        .iter()
-                        .map(|lk| {
-                            format!(
-                                "{lk}={}",
-                                Pred::and(
-                                    assignment.get(lk).cloned().unwrap_or_default()
-                                )
-                            )
-                        })
-                        .collect();
-                    format!(
-                        "cannot prove `{rhs}`\n    from: {lhs_full}\n    raw: {} | {ks:?}",
-                        c.lhs
-                    )
-                } else {
-                    format!("cannot prove `{rhs}`")
-                };
-                errors.push(LiquidError {
-                    msg,
-                    origin: Some(c.origin.clone()),
-                });
-            }
+        let (errs, exh) = check_obligations(genv, c, &assignment, &mut smt, &mut stats);
+        errors.extend(errs);
+        if let Some(e) = exh {
+            exhaustion.get_or_insert(e);
         }
     }
 
     stats.obligation_time = obligation_start.elapsed();
+    stats.worker_queries = vec![stats.smt_queries];
+    stats.worker_checks = vec![stats.iterations];
+    let cache = smt.cache_handle();
+    stats.cache_hits = cache.hits();
+    stats.cache_lookups = cache.lookups();
+
+    Solution {
+        assignment,
+        errors,
+        stats,
+        exhaustion,
+    }
+}
+
+/// What one fixpoint worker reports back for its partition.
+struct WorkerReport {
+    /// Constraints checked.
+    checked: u64,
+    /// SMT queries issued (from this worker's private counters).
+    queries: u64,
+    /// `(constraint, κ, survivors)` for every weakening, in processing
+    /// order. The constraint index is kept so the merge can mirror the
+    /// sequential solver's re-enqueue policy.
+    weakened: Vec<(usize, KVar, Vec<Pred>)>,
+    /// First budget exhaustion this worker hit, if any.
+    exhaustion: Option<Exhaustion>,
+}
+
+/// Groups a round's constraints so that any two constraints writing a
+/// common κ share a partition (union–find over written κs), then bins
+/// the groups onto `jobs` workers, largest first. Returns non-empty
+/// partitions, each sorted by constraint index.
+fn partition_round(
+    round: &[usize],
+    writes: &[Vec<KVar>],
+    jobs: usize,
+) -> Vec<Vec<usize>> {
+    // Union–find over positions in `round`.
+    let mut parent: Vec<usize> = (0..round.len()).collect();
+    fn find(parent: &mut [usize], i: usize) -> usize {
+        let mut root = i;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = i;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    let mut owner: HashMap<KVar, usize> = HashMap::new();
+    for (pos, &ci) in round.iter().enumerate() {
+        for &k in &writes[ci] {
+            match owner.get(&k) {
+                None => {
+                    owner.insert(k, pos);
+                }
+                Some(&prev) => {
+                    let a = find(&mut parent, prev);
+                    let b = find(&mut parent, pos);
+                    if a != b {
+                        // Attach the later root to the earlier one so
+                        // component ids stay deterministic.
+                        parent[b.max(a)] = a.min(b);
+                    }
+                }
+            }
+        }
+    }
+    // Components keyed by root position, in first-appearance order.
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    let mut comp_of_root: HashMap<usize, usize> = HashMap::new();
+    for (pos, &ci) in round.iter().enumerate() {
+        let root = find(&mut parent, pos);
+        let cix = *comp_of_root.entry(root).or_insert_with(|| {
+            components.push(Vec::new());
+            components.len() - 1
+        });
+        components[cix].push(ci);
+    }
+    // Longest-processing-time binning: sort components by size
+    // (descending, stable), assign each to the least-loaded worker.
+    let mut order: Vec<usize> = (0..components.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(components[i].len()));
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); jobs];
+    let mut load = vec![0usize; jobs];
+    for i in order {
+        let w = (0..jobs).min_by_key(|&b| load[b]).unwrap_or(0);
+        load[w] += components[i].len();
+        bins[w].extend(components[i].iter().copied());
+    }
+    let mut out: Vec<Vec<usize>> = bins.into_iter().filter(|b| !b.is_empty()).collect();
+    for b in &mut out {
+        b.sort_unstable();
+    }
+    out
+}
+
+/// The round-based parallel solver (`--jobs > 1`). See the module docs
+/// for the schedule and its soundness argument.
+fn solve_parallel(
+    genv: &GlobalEnv,
+    kenv: &KEnv,
+    subs: &[SubC],
+    quals: &[Qualifier],
+    config: &SolveConfig,
+    jobs: usize,
+) -> Solution {
+    let budget = config.budget;
+    let deadline = budget.deadline_from_now();
+    let cache = QueryCache::shared();
+    let query_counter = Arc::new(AtomicU64::new(0));
+    let make_solver = || {
+        let mut smt = SmtSolver::with_config(SolverConfig {
+            budget,
+            ..config.smt
+        });
+        smt.set_deadline(deadline);
+        smt.share_cache(Arc::clone(&cache));
+        smt.share_query_counter(Arc::clone(&query_counter));
+        smt
+    };
+
+    let mut exhaustion: Option<Exhaustion> = None;
+    let fixpoint_start = Instant::now();
+    let mut stats = SolveStats {
+        jobs,
+        worker_queries: vec![0; jobs],
+        worker_checks: vec![0; jobs],
+        ..SolveStats::default()
+    };
+    let progress = std::env::var_os("DSOLVE_PROGRESS").is_some();
+    if progress {
+        eprintln!(
+            "solve[{jobs} jobs]: {} constraints, {} kvars",
+            subs.len(),
+            kenv.len()
+        );
+    }
+
+    let mut assignment = initial_assignment(kenv, quals, &mut stats);
+
+    // Dependency indices.
+    let mut readers: HashMap<KVar, Vec<usize>> = HashMap::new();
+    for (i, c) in subs.iter().enumerate() {
+        for k in c.reads() {
+            readers.entry(k).or_default().push(i);
+        }
+    }
+    let writes: Vec<Vec<KVar>> = subs.iter().map(SubC::writes).collect();
+
+    let mut queue: Vec<usize> = (0..subs.len())
+        .filter(|&i| !writes[i].is_empty())
+        .collect();
+    let mut queued: HashSet<usize> = queue.iter().copied().collect();
+
+    while !queue.is_empty() {
+        if deadline_expired(deadline) {
+            exhaustion = Some(Exhaustion::new(Phase::Fixpoint, Resource::Deadline));
+            break;
+        }
+        // Deterministic round: pending constraints in index order.
+        let mut round: Vec<usize> = std::mem::take(&mut queue);
+        queued.clear();
+        round.sort_unstable();
+        // Iteration budget: truncate the round to what remains (the
+        // sequential solver exhausts *before* processing the first
+        // over-cap constraint, so a zero remainder exhausts here too).
+        let remaining = budget.max_fixpoint_iterations.saturating_sub(stats.iterations);
+        let over_cap = (round.len() as u64) > remaining;
+        if over_cap {
+            round.truncate(remaining as usize);
+        }
+        if round.is_empty() {
+            exhaustion = Some(Exhaustion::with_detail(
+                Phase::Fixpoint,
+                Resource::FixpointIterations,
+                format!("cap {}", budget.max_fixpoint_iterations),
+            ));
+            break;
+        }
+
+        let partitions = partition_round(&round, &writes, jobs);
+        stats.rounds += 1;
+        stats.max_partition = stats
+            .max_partition
+            .max(partitions.iter().map(Vec::len).max().unwrap_or(0));
+        if progress {
+            eprintln!(
+                "fixpoint round {}: {} constraints in {} partitions (max {})",
+                stats.rounds,
+                round.len(),
+                partitions.len(),
+                partitions.iter().map(Vec::len).max().unwrap_or(0)
+            );
+        }
+
+        let snapshot = &assignment;
+        let reports: Vec<WorkerReport> = std::thread::scope(|s| {
+            let handles: Vec<_> = partitions
+                .iter()
+                .map(|part| {
+                    let mut smt = make_solver();
+                    s.spawn(move || {
+                        let mut local: HashMap<KVar, Vec<Pred>> = HashMap::new();
+                        let mut wstats = SolveStats::default();
+                        let mut report = WorkerReport {
+                            checked: 0,
+                            queries: 0,
+                            weakened: Vec::new(),
+                            exhaustion: None,
+                        };
+                        for &ci in part {
+                            if deadline_expired(deadline) {
+                                report.exhaustion = Some(Exhaustion::new(
+                                    Phase::Fixpoint,
+                                    Resource::Deadline,
+                                ));
+                                break;
+                            }
+                            report.checked += 1;
+                            let view = View {
+                                base: snapshot,
+                                local: Some(&local),
+                            };
+                            let weakened = weaken_constraint(
+                                genv, &subs[ci], &view, &mut smt, &mut wstats,
+                            );
+                            for (k, kept) in weakened {
+                                local.insert(k, kept.clone());
+                                report.weakened.push((ci, k, kept));
+                            }
+                        }
+                        report.queries = wstats.smt_queries;
+                        report
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fixpoint worker panicked"))
+                .collect()
+        });
+
+        // Deterministic merge: workers are ordered, partitions have
+        // disjoint write-sets, and each worker reports weakenings in
+        // its own processing order — so the final value of every κ is
+        // unambiguous.
+        for (w, report) in reports.iter().enumerate() {
+            stats.iterations += report.checked;
+            stats.worker_queries[w] += report.queries;
+            stats.worker_checks[w] += report.checked;
+            stats.smt_queries += report.queries;
+            if let Some(e) = &report.exhaustion {
+                exhaustion.get_or_insert(e.clone());
+            }
+            for (ci, k, kept) in &report.weakened {
+                assignment.insert(*k, kept.clone());
+                for &r in readers.get(k).map(Vec::as_slice).unwrap_or(&[]) {
+                    if !writes[r].is_empty() && queued.insert(r) {
+                        queue.push(r);
+                    }
+                }
+                // Mirror the sequential schedule: the weakening
+                // constraint itself is re-checked next round.
+                if queued.insert(*ci) {
+                    queue.push(*ci);
+                }
+            }
+        }
+        if over_cap && exhaustion.is_none() {
+            exhaustion = Some(Exhaustion::with_detail(
+                Phase::Fixpoint,
+                Resource::FixpointIterations,
+                format!("cap {}", budget.max_fixpoint_iterations),
+            ));
+        }
+        if exhaustion.is_some() {
+            break;
+        }
+    }
+
+    stats.fixpoint_time = fixpoint_start.elapsed();
+
+    // Final pass: concrete right-hand conjuncts, fanned out in chunks
+    // and merged back in constraint order so the error list is identical
+    // to the sequential one.
+    let obligation_start = Instant::now();
+    let targets: Vec<usize> = (0..subs.len())
+        .filter(|&i| {
+            subs[i]
+                .rhs
+                .atoms
+                .iter()
+                .any(|(_, a)| matches!(a, RefAtom::Conc(_)))
+        })
+        .collect();
+    let chunk = targets.len().div_ceil(jobs.max(1)).max(1);
+    let assignment_ref = &assignment;
+    let mut obligation_results: Vec<(usize, Vec<LiquidError>, Option<Exhaustion>)> =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = targets
+                .chunks(chunk)
+                .map(|part| {
+                    let mut smt = make_solver();
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut wstats = SolveStats::default();
+                        for &ci in part {
+                            let (errs, exh) = check_obligations(
+                                genv,
+                                &subs[ci],
+                                assignment_ref,
+                                &mut smt,
+                                &mut wstats,
+                            );
+                            out.push((ci, errs, exh));
+                        }
+                        (out, wstats.smt_queries)
+                    })
+                })
+                .collect();
+            let mut merged = Vec::new();
+            for (w, h) in handles.into_iter().enumerate() {
+                let (out, queries) = h.join().expect("obligation worker panicked");
+                stats.smt_queries += queries;
+                if w < stats.worker_queries.len() {
+                    stats.worker_queries[w] += queries;
+                }
+                merged.extend(out);
+            }
+            merged
+        });
+    obligation_results.sort_by_key(|(ci, _, _)| *ci);
+    let mut errors = Vec::new();
+    for (_, errs, exh) in obligation_results {
+        errors.extend(errs);
+        if let Some(e) = exh {
+            exhaustion.get_or_insert(e);
+        }
+    }
+
+    stats.obligation_time = obligation_start.elapsed();
+    stats.cache_hits = cache.hits();
+    stats.cache_lookups = cache.lookups();
 
     Solution {
         assignment,
@@ -485,6 +958,13 @@ mod tests {
         ]
     }
 
+    fn seq_config() -> SolveConfig {
+        SolveConfig {
+            jobs: 1,
+            ..SolveConfig::default()
+        }
+    }
+
     #[test]
     fn single_kvar_keeps_implied_qualifiers() {
         let genv = genv();
@@ -504,7 +984,7 @@ mod tests {
             rhs: r.clone(),
             origin: Origin::Flow("test"),
         };
-        let sol = solve(&genv, &kenv, &[sub], &quals(), &SolveConfig::default());
+        let sol = solve(&genv, &kenv, &[sub], &quals(), &seq_config());
         assert!(sol.errors.is_empty());
         let k = r.kvars()[0];
         let p = sol.pred_of(k).to_string();
@@ -527,7 +1007,7 @@ mod tests {
             rhs: r.clone(),
             origin: Origin::Flow("test"),
         };
-        let sol = solve(&genv, &kenv, &[sub], &quals(), &SolveConfig::default());
+        let sol = solve(&genv, &kenv, &[sub], &quals(), &seq_config());
         assert_eq!(sol.pred_of(r.kvars()[0]), Pred::True);
     }
 
@@ -554,7 +1034,7 @@ mod tests {
                 origin: Origin::Flow("t"),
             },
         ];
-        let sol = solve(&genv, &kenv, &subs, &quals(), &SolveConfig::default());
+        let sol = solve(&genv, &kenv, &subs, &quals(), &seq_config());
         assert_eq!(sol.pred_of(r2.kvars()[0]).to_string(), "(0 < VV)");
     }
 
@@ -589,7 +1069,7 @@ mod tests {
                 origin: Origin::Flow("t"),
             },
         ];
-        let sol = solve(&genv, &kenv, &subs, &quals(), &SolveConfig::default());
+        let sol = solve(&genv, &kenv, &subs, &quals(), &seq_config());
         // 0 < ν does not hold of ν = 0.
         assert_eq!(sol.pred_of(r1.kvars()[0]), Pred::True);
         assert_eq!(sol.pred_of(r2.kvars()[0]), Pred::True);
@@ -606,7 +1086,7 @@ mod tests {
             rhs: Refinement::pred(parse_pred("0 < VV").unwrap()),
             origin: Origin::Assert { line: 42 },
         };
-        let sol = solve(&genv, &kenv, &[sub], &quals(), &SolveConfig::default());
+        let sol = solve(&genv, &kenv, &[sub], &quals(), &seq_config());
         assert_eq!(sol.errors.len(), 1);
         assert!(sol.errors[0].to_string().contains("line 42"));
     }
@@ -624,7 +1104,7 @@ mod tests {
         };
         let config = SolveConfig {
             budget: Budget::with_timeout(std::time::Duration::from_secs(0)),
-            ..SolveConfig::default()
+            ..seq_config()
         };
         let sol = solve(&genv, &kenv, &[sub], &quals(), &config);
         let e = sol.exhaustion.as_ref().expect("exhaustion recorded");
@@ -652,7 +1132,7 @@ mod tests {
                 max_fixpoint_iterations: 0,
                 ..Budget::default()
             },
-            ..SolveConfig::default()
+            ..seq_config()
         };
         let sol = solve(&genv, &kenv, &[sub], &quals(), &config);
         let e = sol.exhaustion.as_ref().expect("exhaustion recorded");
@@ -679,7 +1159,7 @@ mod tests {
                 max_smt_queries: Some(0),
                 ..Budget::default()
             },
-            ..SolveConfig::default()
+            ..seq_config()
         };
         let sol = solve(&genv, &kenv, &[sub], &quals(), &config);
         let e = sol.exhaustion.as_ref().expect("exhaustion recorded");
@@ -708,7 +1188,137 @@ mod tests {
                 origin: Origin::Assert { line: 1 },
             },
         ];
-        let sol = solve(&genv, &kenv, &subs, &quals(), &SolveConfig::default());
+        let sol = solve(&genv, &kenv, &subs, &quals(), &seq_config());
         assert!(sol.errors.is_empty(), "{:?}", sol.errors.first().map(|e| e.to_string()));
+    }
+
+    /// A chain/diamond of κ constraints exercising multi-round parallel
+    /// weakening with cross-partition reads.
+    fn diamond_case() -> (GlobalEnv, KEnv, Vec<SubC>) {
+        let genv = genv();
+        let mut kenv = KEnv::new();
+        let mut rs = Vec::new();
+        for _ in 0..6 {
+            rs.push(fresh_refinement(&mut kenv, SortEnv::new(), &MlType::Int));
+        }
+        let mut subs = vec![SubC {
+            env: LiquidEnv::new(),
+            nu_shape: MlType::Int,
+            lhs: Refinement::pred(parse_pred("0 < VV && VV = 7").unwrap()),
+            rhs: rs[0].clone(),
+            origin: Origin::Flow("source"),
+        }];
+        // κ0 → κ1, κ0 → κ2, κ1 → κ3, κ2 → κ3, κ3 → κ4, κ4 → κ5.
+        for (a, b) in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5)] {
+            subs.push(SubC {
+                env: LiquidEnv::new(),
+                nu_shape: MlType::Int,
+                lhs: rs[a].clone(),
+                rhs: rs[b].clone(),
+                origin: Origin::Flow("edge"),
+            });
+        }
+        // A weaker source into κ2 forces weakening down one diamond leg.
+        subs.push(SubC {
+            env: LiquidEnv::new(),
+            nu_shape: MlType::Int,
+            lhs: Refinement::pred(parse_pred("VV = 0").unwrap()),
+            rhs: rs[2].clone(),
+            origin: Origin::Flow("weak-source"),
+        });
+        // A concrete obligation at the sink.
+        subs.push(SubC {
+            env: LiquidEnv::new(),
+            nu_shape: MlType::Int,
+            lhs: rs[5].clone(),
+            rhs: Refinement::pred(parse_pred("0 < VV").unwrap()),
+            origin: Origin::Assert { line: 99 },
+        });
+        (genv, kenv, subs)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_diamond() {
+        let (genv, kenv, subs) = diamond_case();
+        let seq = solve(&genv, &kenv, &subs, &quals(), &seq_config());
+        let par = solve(
+            &genv,
+            &kenv,
+            &subs,
+            &quals(),
+            &SolveConfig {
+                jobs: 4,
+                ..SolveConfig::default()
+            },
+        );
+        assert_eq!(par.stats.jobs, 4);
+        assert!(par.stats.rounds > 0);
+        // Same assignment, same verdict, same error list.
+        let dump = |s: &Solution| {
+            let mut ks: Vec<_> = s.assignment.keys().copied().collect();
+            ks.sort();
+            ks.iter().map(|k| format!("{k}={}", s.pred_of(*k))).collect::<Vec<_>>()
+        };
+        assert_eq!(dump(&seq), dump(&par));
+        assert_eq!(
+            seq.errors.iter().map(ToString::to_string).collect::<Vec<_>>(),
+            par.errors.iter().map(ToString::to_string).collect::<Vec<_>>()
+        );
+        assert_eq!(seq.outcome(), par.outcome());
+    }
+
+    #[test]
+    fn partition_round_keeps_shared_writers_together() {
+        // Constraints 0 and 2 write κ0; constraint 1 writes κ1.
+        let k0 = KVar(0);
+        let k1 = KVar(1);
+        let writes = vec![vec![k0], vec![k1], vec![k0]];
+        let parts = partition_round(&[0, 1, 2], &writes, 2);
+        assert_eq!(parts.len(), 2);
+        let with_0 = parts.iter().find(|p| p.contains(&0)).unwrap();
+        assert!(with_0.contains(&2), "writers of κ0 split: {parts:?}");
+        // Partitions are sorted and disjoint.
+        for p in &parts {
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(*p, sorted);
+        }
+    }
+
+    #[test]
+    fn parallel_zero_iteration_budget_exhausts() {
+        let (genv, kenv, subs) = diamond_case();
+        let config = SolveConfig {
+            jobs: 2,
+            budget: Budget {
+                max_fixpoint_iterations: 0,
+                ..Budget::default()
+            },
+            ..SolveConfig::default()
+        };
+        let sol = solve(&genv, &kenv, &subs, &quals(), &config);
+        let e = sol.exhaustion.as_ref().expect("exhaustion recorded");
+        assert_eq!(e.resource, dsolve_logic::Resource::FixpointIterations);
+        assert!(sol.outcome().is_unknown());
+    }
+
+    #[test]
+    fn parallel_query_cap_is_global_across_workers() {
+        let (genv, kenv, subs) = diamond_case();
+        let config = SolveConfig {
+            jobs: 4,
+            budget: Budget {
+                max_smt_queries: Some(3),
+                ..Budget::default()
+            },
+            ..SolveConfig::default()
+        };
+        let sol = solve(&genv, &kenv, &subs, &quals(), &config);
+        // The cap covers the sum across workers: with only 3 queries
+        // allowed the run cannot complete, and the obligation pass
+        // reports the exhaustion.
+        assert!(sol.outcome().is_unknown());
+        let e = sol.exhaustion.as_ref().expect("exhaustion recorded");
+        assert_eq!(e.resource, dsolve_logic::Resource::SmtQueries);
     }
 }

@@ -128,9 +128,10 @@ fn split_fuel(
                 split_data(genv, env, d1, d2, origin, out, fuel)
             }
         }
-        _ => Err(LiquidError::internal(format!(
-            "shape mismatch in subtyping: `{lhs}` vs `{rhs}`"
-        ))),
+        _ => Err(LiquidError {
+            msg: format!("shape mismatch in subtyping: `{lhs}` vs `{rhs}`"),
+            origin: Some(origin.clone()),
+        }),
     }
 }
 

@@ -1,0 +1,199 @@
+//! A shared, lock-striped validity-query cache.
+//!
+//! The liquid fixpoint issues enormous numbers of implication queries,
+//! many of them repeats (the same antecedent is checked against many
+//! candidate qualifiers, and weakening re-checks constraints whose
+//! relevant inputs did not change). Each [`crate::SmtSolver`] consults a
+//! [`QueryCache`]; handing several solvers the *same* `Arc<QueryCache>`
+//! lets parallel fixpoint workers reuse each other's answers and keeps
+//! the answers alive across fixpoint rounds and the final obligation
+//! pass.
+//!
+//! Keys are the *structural* hash of the `(antecedent, consequent)` pair
+//! (collisions resolved by full structural equality), replacing the old
+//! per-query `format!("{lhs} |- {rhs}")` string key whose construction
+//! cost grew with formula size.
+//!
+//! Only definite answers are stored: an `Unknown` under one budget may
+//! well be decidable under a larger one, so it must never be replayed.
+
+use dsolve_logic::Pred;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independently locked shards. A power of two well above any
+/// realistic worker count keeps contention negligible.
+const SHARDS: usize = 64;
+
+/// One shard: structural hash → entries colliding on that hash.
+type Shard = Mutex<HashMap<u64, Vec<(Pred, Pred, bool)>>>;
+
+/// A concurrent memo table for validity queries.
+///
+/// # Examples
+///
+/// ```
+/// use dsolve_logic::parse_pred;
+/// use dsolve_smt::QueryCache;
+///
+/// let cache = QueryCache::new();
+/// let a = parse_pred("x < y").unwrap();
+/// let c = parse_pred("x <= y").unwrap();
+/// assert_eq!(cache.get(&a, &c), None);
+/// cache.insert(&a, &c, true);
+/// assert_eq!(cache.get(&a, &c), Some(true));
+/// ```
+pub struct QueryCache {
+    /// Shard `i` holds the entries whose structural hash maps to `i`.
+    /// Buckets store the full key pair so hash collisions fall back to
+    /// structural equality, never to a wrong verdict.
+    shards: Vec<Shard>,
+    hits: AtomicU64,
+    lookups: AtomicU64,
+    entries: AtomicU64,
+}
+
+impl Default for QueryCache {
+    fn default() -> QueryCache {
+        QueryCache::new()
+    }
+}
+
+impl QueryCache {
+    /// Creates an empty cache.
+    pub fn new() -> QueryCache {
+        QueryCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates an empty cache behind a shareable handle.
+    pub fn shared() -> Arc<QueryCache> {
+        Arc::new(QueryCache::new())
+    }
+
+    /// The structural hash of a query (also selects the shard).
+    fn key(antecedent: &Pred, consequent: &Pred) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        antecedent.hash(&mut h);
+        consequent.hash(&mut h);
+        h.finish()
+    }
+
+    /// Looks up the cached verdict for `antecedent ⇒ consequent`.
+    pub fn get(&self, antecedent: &Pred, consequent: &Pred) -> Option<bool> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let key = QueryCache::key(antecedent, consequent);
+        let shard = self.shards[(key as usize) % SHARDS]
+            .lock()
+            .expect("query cache shard poisoned");
+        let found = shard.get(&key).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|(a, c, _)| a == antecedent && c == consequent)
+                .map(|(_, _, v)| *v)
+        });
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Records a definite verdict. Racing inserts of the same query are
+    /// harmless: the solver is deterministic, so both record the same
+    /// answer and the duplicate is skipped.
+    pub fn insert(&self, antecedent: &Pred, consequent: &Pred, valid: bool) {
+        let key = QueryCache::key(antecedent, consequent);
+        let mut shard = self.shards[(key as usize) % SHARDS]
+            .lock()
+            .expect("query cache shard poisoned");
+        let bucket = shard.entry(key).or_default();
+        if bucket
+            .iter()
+            .any(|(a, c, _)| a == antecedent && c == consequent)
+        {
+            return;
+        }
+        bucket.push((antecedent.clone(), consequent.clone(), valid));
+        self.entries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cache hits since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups since creation.
+    pub fn lookups(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Stored entries.
+    pub fn len(&self) -> u64 {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsolve_logic::parse_pred;
+
+    #[test]
+    fn get_insert_roundtrip() {
+        let cache = QueryCache::new();
+        let a = parse_pred("x < y").unwrap();
+        let c = parse_pred("x <= y").unwrap();
+        assert_eq!(cache.get(&a, &c), None);
+        cache.insert(&a, &c, true);
+        assert_eq!(cache.get(&a, &c), Some(true));
+        // Direction matters: the reversed query is distinct.
+        assert_eq!(cache.get(&c, &a), None);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.lookups(), 3);
+    }
+
+    #[test]
+    fn duplicate_insert_is_ignored() {
+        let cache = QueryCache::new();
+        let a = parse_pred("x = 1").unwrap();
+        let c = parse_pred("x >= 1").unwrap();
+        cache.insert(&a, &c, true);
+        cache.insert(&a, &c, true);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_use_is_consistent() {
+        let cache = QueryCache::shared();
+        let preds: Vec<_> = (0..32)
+            .map(|i| parse_pred(&format!("x = {i}")).unwrap())
+            .collect();
+        let c = parse_pred("0 <= x").unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = Arc::clone(&cache);
+                let preds = &preds;
+                let c = &c;
+                s.spawn(move || {
+                    for (i, a) in preds.iter().enumerate() {
+                        cache.insert(a, c, i % 2 == t % 2);
+                        assert!(cache.get(a, c).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 32);
+    }
+}

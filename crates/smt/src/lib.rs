@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod arrays;
+mod cache;
 mod cnf;
 mod euf;
 mod rational;
@@ -57,6 +58,7 @@ mod term;
 mod theory;
 
 pub use arrays::instantiate_array_axioms;
+pub use cache::QueryCache;
 pub use cnf::{encode, Atom, AtomId, Atoms, CnfFormula};
 pub use euf::{Euf, EufResult};
 pub use rational::Rat;

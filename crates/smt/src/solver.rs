@@ -7,6 +7,7 @@
 //! clauses.
 
 use crate::arrays::instantiate_array_axioms;
+use crate::cache::QueryCache;
 use crate::cnf::{encode, Atoms};
 use crate::sat::{CdclSolver, Lit, SatResult};
 use crate::sets::{canonicalize_sets, set_saturation_lemmas};
@@ -14,7 +15,8 @@ use crate::theory::{check_assignment, TheoryBudget, TheoryResult};
 use dsolve_logic::{
     deadline_expired, Budget, Exhaustion, Expr, Phase, Pred, Resource, Sort, SortEnv, Symbol,
 };
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Cumulative statistics over a solver's lifetime.
@@ -35,7 +37,7 @@ pub struct SolverStats {
 /// Configuration knobs (exposed for the ablation benchmarks).
 #[derive(Clone, Copy, Debug)]
 pub struct SolverConfig {
-    /// Memoize validity queries by their printed form.
+    /// Memoize validity queries (structural hash of the implication).
     pub cache: bool,
     /// Instantiate the McCarthy read-over-write axioms.
     pub array_axioms: bool,
@@ -95,18 +97,37 @@ pub enum Validity {
 /// assert!(smt.is_valid(&env, &lhs, &rhs));
 /// assert!(!smt.is_valid(&env, &rhs, &lhs));
 /// ```
-#[derive(Default)]
 pub struct SmtSolver {
     /// Statistics (monotone counters).
     pub stats: SolverStats,
     config: SolverConfig,
-    cache: HashMap<String, bool>,
+    /// Validity memo table. Private by default; [`SmtSolver::share_cache`]
+    /// installs a handle shared with other solvers (parallel fixpoint
+    /// workers, the obligation pass).
+    cache: Arc<QueryCache>,
+    /// Queries charged against `budget.max_smt_queries`. Shared via
+    /// [`SmtSolver::share_query_counter`] so the cap covers the *sum*
+    /// across concurrent solvers, not each one separately.
+    queries: Arc<AtomicU64>,
     /// Absolute wall-clock deadline for all queries on this solver.
     deadline: Option<Instant>,
     /// Whether `deadline` has been initialized (either explicitly via
     /// [`SmtSolver::set_deadline`] or lazily from `config.budget.timeout`
     /// on the first query).
     deadline_armed: bool,
+}
+
+impl Default for SmtSolver {
+    fn default() -> SmtSolver {
+        SmtSolver {
+            stats: SolverStats::default(),
+            config: SolverConfig::default(),
+            cache: QueryCache::shared(),
+            queries: Arc::new(AtomicU64::new(0)),
+            deadline: None,
+            deadline_armed: false,
+        }
+    }
 }
 
 impl SmtSolver {
@@ -126,6 +147,28 @@ impl SmtSolver {
     /// The active configuration.
     pub fn config(&self) -> SolverConfig {
         self.config
+    }
+
+    /// Installs a shared validity cache (replacing the private one), so
+    /// this solver reuses — and contributes — answers across solvers.
+    pub fn share_cache(&mut self, cache: Arc<QueryCache>) {
+        self.cache = cache;
+    }
+
+    /// The cache handle in use (shared or private).
+    pub fn cache_handle(&self) -> Arc<QueryCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Installs a shared query counter: `budget.max_smt_queries` then
+    /// caps the total across every solver holding the same counter.
+    pub fn share_query_counter(&mut self, queries: Arc<AtomicU64>) {
+        self.queries = queries;
+    }
+
+    /// Queries charged so far against the (possibly shared) cap.
+    pub fn queries_charged(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
     }
 
     /// Pins the absolute wall-clock deadline for every subsequent query.
@@ -150,12 +193,13 @@ impl SmtSolver {
     }
 
     /// Whether the query cap has been used up (counting both kinds of
-    /// top-level queries).
+    /// top-level queries, summed across every solver sharing the
+    /// counter).
     fn query_budget_exhausted(&self) -> bool {
         self.config
             .budget
             .max_smt_queries
-            .is_some_and(|cap| self.stats.sat_queries + self.stats.valid_queries >= cap)
+            .is_some_and(|cap| self.queries.load(Ordering::Relaxed) >= cap)
     }
 
     /// Checks the per-query entry budgets (query cap, deadline). Returns
@@ -187,30 +231,27 @@ impl SmtSolver {
             return Validity::Unknown(e);
         }
         self.stats.valid_queries += 1;
-        let key = if self.config.cache {
-            let k = format!("{antecedent} |- {consequent}");
-            if let Some(&v) = self.cache.get(&k) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if self.config.cache {
+            if let Some(v) = self.cache.get(antecedent, consequent) {
                 self.stats.cache_hits += 1;
                 return if v { Validity::Valid } else { Validity::Invalid };
             }
-            Some(k)
-        } else {
-            None
-        };
+        }
         let negated = Pred::and(vec![antecedent.clone(), Pred::not(consequent.clone())]);
         let verdict = self.check_sat_inner(env, &negated);
         // Only definite answers are cached: an `Unknown` under one budget
         // may well be decidable under a larger one.
         match verdict {
             SmtResult::Unsat => {
-                if let Some(k) = key {
-                    self.cache.insert(k, true);
+                if self.config.cache {
+                    self.cache.insert(antecedent, consequent, true);
                 }
                 Validity::Valid
             }
             SmtResult::Sat => {
-                if let Some(k) = key {
-                    self.cache.insert(k, false);
+                if self.config.cache {
+                    self.cache.insert(antecedent, consequent, false);
                 }
                 Validity::Invalid
             }
@@ -225,6 +266,7 @@ impl SmtSolver {
             return SmtResult::Unknown(e);
         }
         self.stats.sat_queries += 1;
+        self.queries.fetch_add(1, Ordering::Relaxed);
         self.check_sat_inner(env, p)
     }
 

@@ -1,11 +1,18 @@
 #!/bin/bash
 # Regenerates the Fig. 10 table row by row with a per-row time budget.
 #
-# Usage: ./run_figure10.sh [--smoke] [budget_seconds]
+# Usage: ./run_figure10.sh [--smoke] [--jobs N] [budget_seconds]
 #
-#   --smoke   verify three fast benchmarks under a short deadline — a
-#             seconds-long sanity check that the whole pipeline (front
-#             end, liquid fixpoint, SMT, budget reporting) still works.
+#   --smoke   verify the fast all-SAFE benchmarks under a short deadline
+#             — a seconds-long sanity check that the whole pipeline
+#             (front end, liquid fixpoint, SMT, budget reporting) still
+#             works, and that no verdict regressed (the set includes
+#             malloc, once mis-reported UNSAFE by a specialization bug).
+#   --jobs N  fixpoint worker threads (default: one per available CPU).
+#
+# Machine-readable per-row records (wall time, SMT queries, cache hits,
+# jobs) land in BENCH_figure10.json via the Rust harness:
+#   cargo run --release -p dsolve-bench --bin figure10 -- --json BENCH_figure10.json
 #
 # The budget is enforced by dsolve itself (`--timeout`), so an exhausted
 # row reports `UNKNOWN` with a machine-readable reason instead of being
@@ -14,12 +21,22 @@ cd "$(dirname "$0")" || exit 3
 
 SMOKE=0
 BUDGET=600
+JOBS=""
+expect_jobs=0
 for a in "$@"; do
+  if [ "$expect_jobs" = 1 ]; then
+    JOBS="$a"
+    expect_jobs=0
+    continue
+  fi
   case "$a" in
     --smoke) SMOKE=1 ;;
+    --jobs) expect_jobs=1 ;;
     *) BUDGET="$a" ;;
   esac
 done
+JOBS_FLAG=()
+[ -n "$JOBS" ] && JOBS_FLAG=(--jobs "$JOBS")
 
 ROWS=(
   "listsort:Sorted, Elts:110:7:11"
@@ -37,12 +54,14 @@ ROWS=(
 )
 if [ "$SMOKE" = 1 ]; then
   BUDGET=60
-  # Empirically the fastest three rows (sub-second each): keep this list
-  # to benchmarks that finish well inside the smoke deadline.
+  # Empirically the fastest all-SAFE rows: keep this list to benchmarks
+  # that finish well inside the smoke deadline. malloc doubles as the
+  # regression pin for the spec-specialization renaming fix.
   ROWS=(
     "ralist:Len:91:3:3"
     "stablesort:Sorted:161:1:6"
     "subvsolve:Acyclic:264:2:26"
+    "malloc:Alloc:71:2:2"
   )
 fi
 
@@ -56,7 +75,7 @@ printf '%-12s %-22s %s\n' "Program" "Property" "Result"
 FAIL=0
 for row in "${ROWS[@]}"; do
   IFS=: read -r name prop ploc pann pt <<<"$row"
-  out=$(./target/release/dsolve "benchmarks/$name.ml" --timeout "$BUDGET" --stats 2>&1)
+  out=$(./target/release/dsolve "benchmarks/$name.ml" --timeout "$BUDGET" --stats "${JOBS_FLAG[@]}" 2>&1)
   status=$(echo "$out" | grep -oE "UNSAFE|UNKNOWN|SAFE" | head -1)
   stats=$(echo "$out" | grep -oE "loc=[0-9]+ annotations=[0-9]+.*time=[0-9.]+s" | head -1)
   [ -z "$status" ] && status="ERROR"

@@ -17,4 +17,7 @@ cargo build --release -p dsolve-bench --features bench --benches
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== ./run_figure10.sh --smoke"
+./run_figure10.sh --smoke
+
 echo "check.sh: all green"
