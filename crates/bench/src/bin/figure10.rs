@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p dsolve-bench --bin figure10 \
-//!     [--timeout <secs>] [--jobs <n>] [--json <path>] [names...]
+//!     [--timeout <secs>] [--jobs <n>] [--json <path>] [--stats] [names...]
 //! ```
 //!
 //! Each benchmark runs under panic isolation: a pathological module
@@ -28,6 +28,8 @@ struct JsonRow {
     smt_queries: u64,
     cache_hits: u64,
     cache_lookups: u64,
+    smt_sessions: u64,
+    smt_scoped_checks: u64,
     jobs: usize,
 }
 
@@ -35,10 +37,12 @@ fn main() {
     let mut timeout: Option<u64> = None;
     let mut jobs: Option<usize> = None;
     let mut json_path: Option<String> = None;
+    let mut stats = false;
     let mut filter: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--stats" => stats = true,
             "--timeout" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
                 Some(secs) => timeout = Some(secs),
                 None => {
@@ -101,6 +105,8 @@ fn main() {
                     smt_queries: 0,
                     cache_hits: 0,
                     cache_lookups: 0,
+                    smt_sessions: 0,
+                    smt_scoped_checks: 0,
                     jobs: jobs.unwrap_or(0),
                 });
             }
@@ -116,14 +122,32 @@ fn main() {
                         eprintln!("    {e}");
                     }
                 }
+                let s = &res.result.stats;
+                if stats {
+                    let reuse = if s.smt_sessions == 0 {
+                        0.0
+                    } else {
+                        s.smt_scoped_checks as f64 / s.smt_sessions as f64
+                    };
+                    eprintln!(
+                        "    smt_queries={} cache_hits={}/{} sessions={} scoped_checks={} asserts_per_session={reuse:.1}",
+                        s.smt_queries,
+                        s.cache_hits,
+                        s.cache_lookups,
+                        s.smt_sessions,
+                        s.smt_scoped_checks,
+                    );
+                }
                 records.push(JsonRow {
                     name: b.name.into(),
                     outcome: format!("{}", res.outcome()),
                     wall_s: res.time.as_secs_f64(),
-                    smt_queries: res.result.stats.smt_queries,
-                    cache_hits: res.result.stats.cache_hits,
-                    cache_lookups: res.result.stats.cache_lookups,
-                    jobs: res.result.stats.jobs,
+                    smt_queries: s.smt_queries,
+                    cache_hits: s.cache_hits,
+                    cache_lookups: s.cache_lookups,
+                    smt_sessions: s.smt_sessions,
+                    smt_scoped_checks: s.smt_scoped_checks,
+                    jobs: s.jobs,
                 });
                 table.push(Row::from_result(
                     format!(
@@ -161,8 +185,9 @@ fn render_json(records: &[JsonRow]) -> String {
         let outcome = r.outcome.split([':', ' ']).next().unwrap_or("UNKNOWN");
         let _ = writeln!(
             out,
-            "  {{\"name\": \"{}\", \"outcome\": \"{}\", \"wall_s\": {:.3}, \"smt_queries\": {}, \"cache_hits\": {}, \"cache_lookups\": {}, \"jobs\": {}}}{}",
-            r.name, outcome, r.wall_s, r.smt_queries, r.cache_hits, r.cache_lookups, r.jobs, sep
+            "  {{\"name\": \"{}\", \"outcome\": \"{}\", \"wall_s\": {:.3}, \"smt_queries\": {}, \"cache_hits\": {}, \"cache_lookups\": {}, \"smt_sessions\": {}, \"smt_scoped_checks\": {}, \"jobs\": {}}}{}",
+            r.name, outcome, r.wall_s, r.smt_queries, r.cache_hits, r.cache_lookups,
+            r.smt_sessions, r.smt_scoped_checks, r.jobs, sep
         );
     }
     out.push_str("]\n");

@@ -171,3 +171,62 @@ fn parallel_and_sequential_verdicts_agree() {
         assert_eq!(seq.2, par.2, "{name}: inferred types differ between jobs=1 and jobs=4");
     }
 }
+
+/// Runs one benchmark and returns its observable surface (verdict,
+/// canonicalized errors, canonicalized sorted inferred types).
+fn observe(name: &str, jobs: usize, no_incremental: bool) -> (String, Vec<String>, Vec<String>) {
+    let mut job = load(name).unwrap();
+    job.config.jobs = jobs;
+    job.config.no_incremental = no_incremental;
+    let res = job.run().unwrap_or_else(|e| panic!("{name}: {e}"));
+    let mut inferred: Vec<String> = res
+        .result
+        .inferred
+        .iter()
+        .map(|(n, scheme)| canon(&format!("{n} :: {scheme}")))
+        .collect();
+    inferred.sort();
+    let errors: Vec<String> =
+        res.result.errors.iter().map(|e| canon(&e.to_string())).collect();
+    (format!("{}", res.outcome()), errors, inferred)
+}
+
+/// The incremental (assertion-scope) SMT path and the scratch path must
+/// agree on everything observable across the smoke set — the end-to-end
+/// differential pin for the batched qualifier checks.
+#[test]
+fn incremental_and_scratch_verdicts_agree() {
+    for name in ["stablesort", "malloc", "subvsolve", "ralist"] {
+        let inc = observe(name, 1, false);
+        let scratch = observe(name, 1, true);
+        assert_eq!(
+            inc.0, scratch.0,
+            "{name}: verdict differs between incremental and scratch"
+        );
+        assert_eq!(
+            inc.1, scratch.1,
+            "{name}: error list differs between incremental and scratch"
+        );
+        assert_eq!(
+            inc.2, scratch.2,
+            "{name}: inferred types differ between incremental and scratch"
+        );
+    }
+}
+
+/// Incremental solving under `--jobs 4` stays deterministic: two runs
+/// produce identical observables, and they match the sequential
+/// incremental run.
+#[test]
+fn parallel_incremental_is_deterministic() {
+    for name in ["stablesort", "subvsolve"] {
+        let a = observe(name, 4, false);
+        let b = observe(name, 4, false);
+        assert_eq!(a, b, "{name}: jobs=4 incremental runs differ");
+        let seq = observe(name, 1, false);
+        assert_eq!(
+            a, seq,
+            "{name}: jobs=4 incremental differs from sequential incremental"
+        );
+    }
+}

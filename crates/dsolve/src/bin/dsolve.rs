@@ -164,6 +164,15 @@ fn main() -> ExitCode {
                     100.0 * s.cache_hit_rate(),
                     s.worker_queries
                 );
+                let reuse = if s.smt_sessions == 0 {
+                    0.0
+                } else {
+                    s.smt_scoped_checks as f64 / s.smt_sessions as f64
+                };
+                eprintln!(
+                    "smt_sessions={} scoped_checks={} asserts_per_session={reuse:.1}",
+                    s.smt_sessions, s.smt_scoped_checks
+                );
             }
             use dsolve_logic::Outcome;
             println!("{}: {}", job.name, res.outcome());

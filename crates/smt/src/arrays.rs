@@ -28,11 +28,26 @@ use std::collections::BTreeSet;
 ///
 /// Returns `p` unchanged when the formula contains no `Upd` terms.
 pub fn instantiate_array_axioms(p: &Pred) -> Pred {
+    let lemmas = array_axiom_lemmas(p);
+    if lemmas.is_empty() {
+        return p.clone();
+    }
+    let mut parts = vec![p.clone()];
+    parts.extend(lemmas);
+    Pred::and(parts)
+}
+
+/// The lemma list behind [`instantiate_array_axioms`], without
+/// conjoining: every returned predicate is a valid axiom instance on
+/// its own, so incremental callers may retain them across assertion
+/// scopes. The instantiation order matches [`instantiate_array_axioms`]
+/// exactly.
+pub fn array_axiom_lemmas(p: &Pred) -> Vec<Pred> {
     let mut upds: BTreeSet<Expr> = BTreeSet::new();
     let mut indices: BTreeSet<Expr> = BTreeSet::new();
     collect_pred(p, &mut upds, &mut indices);
     if upds.is_empty() {
-        return p.clone();
+        return Vec::new();
     }
 
     let mut lemmas: Vec<Pred> = Vec::new();
@@ -63,9 +78,7 @@ pub fn instantiate_array_axioms(p: &Pred) -> Pred {
             }
         }
     }
-    let mut parts = vec![p.clone()];
-    parts.extend(lemmas);
-    Pred::and(parts)
+    lemmas
 }
 
 fn collect_pred(p: &Pred, upds: &mut BTreeSet<Expr>, indices: &mut BTreeSet<Expr>) {

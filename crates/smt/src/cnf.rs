@@ -259,28 +259,105 @@ pub struct CnfFormula {
     pub num_vars: usize,
 }
 
-/// Encodes `p` (asserted true) into CNF over theory atoms.
-pub fn encode(p: &Pred, atoms: &mut Atoms, env: &SortEnv) -> CnfFormula {
+/// Persistent encoder state shared across incremental encoding steps.
+///
+/// The atom → SAT-variable map, the variable counter, and the set of
+/// already-split integer equalities all grow monotonically; an
+/// assertion-scope pop never shrinks them (stale variables are merely
+/// unconstrained, and the eq-split clauses are emitted as retained
+/// lemmas, keeping `split_eqs` truthful across pops).
+#[derive(Default)]
+pub struct EncodeCtx {
+    atom_vars: HashMap<AtomId, BVar>,
+    num_vars: usize,
+    split_eqs: std::collections::HashSet<AtomId>,
+}
+
+impl EncodeCtx {
+    /// Creates an empty context.
+    pub fn new() -> EncodeCtx {
+        EncodeCtx::default()
+    }
+
+    /// Total SAT variables allocated so far (atoms + Tseitin gates).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Allocates a fresh SAT variable.
+    fn fresh(&mut self) -> BVar {
+        let v = BVar(u32::try_from(self.num_vars).expect("too many SAT variables"));
+        self.num_vars += 1;
+        v
+    }
+
+    /// The SAT variable of atom `a`, allocating one on first use.
+    pub fn var_of_atom(&mut self, a: AtomId) -> BVar {
+        if let Some(&v) = self.atom_vars.get(&a) {
+            return v;
+        }
+        let v = self.fresh();
+        self.atom_vars.insert(a, v);
+        v
+    }
+
+    /// The SAT variable of atom `a`, if one was ever allocated.
+    pub fn lookup_atom(&self, a: AtomId) -> Option<BVar> {
+        self.atom_vars.get(&a).copied()
+    }
+}
+
+/// Clauses produced by one incremental encoding step.
+pub struct EncodedUnit {
+    /// Clauses asserting the predicate — valid only while its scope is.
+    pub clauses: Vec<Vec<Lit>>,
+    /// Definitional clauses (integer-equality splits `eq ↔ le₁ ∧ le₂`)
+    /// that are valid independent of any assertion and must survive
+    /// scope pops, matching the persistence of [`EncodeCtx::split_eqs`].
+    pub lemma_clauses: Vec<Vec<Lit>>,
+}
+
+/// Encodes `p` (asserted true) on top of persistent encoder state,
+/// returning only the new clauses. Atoms and SAT variables already known
+/// to `ctx` are reused, which is what makes re-asserting predicates
+/// under a shared antecedent cheap.
+pub fn encode_incremental(
+    p: &Pred,
+    atoms: &mut Atoms,
+    env: &SortEnv,
+    ctx: &mut EncodeCtx,
+) -> EncodedUnit {
     let mut enc = Encoder {
         atoms,
         env,
+        ctx,
         clauses: Vec::new(),
-        atom_vars: HashMap::new(),
-        nvars: 0,
-        split_eqs: std::collections::HashSet::new(),
+        lemma_clauses: Vec::new(),
     };
     match enc.lit_of(p) {
         EncLit::Const(true) => {}
         EncLit::Const(false) => enc.clauses.push(vec![]),
         EncLit::Lit(l) => enc.clauses.push(vec![l]),
     }
+    EncodedUnit {
+        clauses: enc.clauses,
+        lemma_clauses: enc.lemma_clauses,
+    }
+}
+
+/// Encodes `p` (asserted true) into CNF over theory atoms.
+pub fn encode(p: &Pred, atoms: &mut Atoms, env: &SortEnv) -> CnfFormula {
+    let mut ctx = EncodeCtx::new();
+    let unit = encode_incremental(p, atoms, env, &mut ctx);
+    let mut clauses = unit.lemma_clauses;
+    clauses.extend(unit.clauses);
     // Dense atom-var table (atoms created during encoding are all mapped).
-    let mut table = vec![BVar(u32::MAX); enc.atoms.len()];
-    for (aid, v) in &enc.atom_vars {
+    let mut table = vec![BVar(u32::MAX); atoms.len()];
+    for (aid, v) in &ctx.atom_vars {
         table[aid.index()] = *v;
     }
     // Atoms mentioned zero times (shouldn't happen) get fresh vars.
-    let mut nvars = enc.nvars;
+    let mut nvars = ctx.num_vars;
     for t in table.iter_mut() {
         if t.0 == u32::MAX {
             *t = BVar(nvars as u32);
@@ -288,7 +365,7 @@ pub fn encode(p: &Pred, atoms: &mut Atoms, env: &SortEnv) -> CnfFormula {
         }
     }
     CnfFormula {
-        clauses: enc.clauses,
+        clauses,
         atom_vars: table,
         num_vars: nvars,
     }
@@ -321,26 +398,18 @@ impl PolaritySet {
 struct Encoder<'a> {
     atoms: &'a mut Atoms,
     env: &'a SortEnv,
+    ctx: &'a mut EncodeCtx,
     clauses: Vec<Vec<Lit>>,
-    atom_vars: HashMap<AtomId, BVar>,
-    nvars: usize,
-    split_eqs: std::collections::HashSet<AtomId>,
+    lemma_clauses: Vec<Vec<Lit>>,
 }
 
 impl Encoder<'_> {
     fn fresh(&mut self) -> BVar {
-        let v = BVar(self.nvars as u32);
-        self.nvars += 1;
-        v
+        self.ctx.fresh()
     }
 
     fn var_of_atom(&mut self, a: AtomId) -> BVar {
-        if let Some(&v) = self.atom_vars.get(&a) {
-            return v;
-        }
-        let v = self.fresh();
-        self.atom_vars.insert(a, v);
-        v
+        self.ctx.var_of_atom(a)
     }
 
     fn lit_of(&mut self, p: &Pred) -> EncLit {
@@ -363,16 +432,18 @@ impl Encoder<'_> {
                 let atom_neg_possible = if pos { pol.neg } else { pol.pos };
                 if atom_neg_possible {
                     if let Atom::Eq { lin: Some(lin), .. } = self.atoms.atom(aid).clone() {
-                        if self.split_eqs.insert(aid) {
+                        if self.ctx.split_eqs.insert(aid) {
                             let le1 = self.atoms.int_le_atom(lin.clone());
                             let le2 = self.atoms.int_le_atom(lin.scale(Rat::from_int(-1)));
                             let v1 = self.var_of_atom(le1);
                             let v2 = self.var_of_atom(le2);
                             let eq = Lit::pos(v);
-                            // eq ↔ (le1 ∧ le2)
-                            self.clauses.push(vec![eq.negate(), Lit::pos(v1)]);
-                            self.clauses.push(vec![eq.negate(), Lit::pos(v2)]);
-                            self.clauses
+                            // eq ↔ (le1 ∧ le2): definitional, so emitted
+                            // as retained lemmas (split_eqs persists
+                            // across scope pops and the clauses must too).
+                            self.lemma_clauses.push(vec![eq.negate(), Lit::pos(v1)]);
+                            self.lemma_clauses.push(vec![eq.negate(), Lit::pos(v2)]);
+                            self.lemma_clauses
                                 .push(vec![eq, Lit::neg(v1), Lit::neg(v2)]);
                         }
                     }

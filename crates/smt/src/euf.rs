@@ -20,38 +20,94 @@ pub enum EufResult {
 
 /// Congruence closure engine over a [`TermArena`].
 ///
-/// The engine is rebuilt per theory check (the fleet of checks is large
-/// but each is small, so non-incremental closure keeps the code simple
-/// and auditable).
-pub struct Euf<'a> {
-    arena: &'a TermArena,
+/// The engine supports assertion scopes: [`Euf::push`] snapshots the
+/// state and [`Euf::pop`] rolls back every merge, disequality, and
+/// pending assertion made since, by replaying a union undo trail in
+/// reverse. Union is by rank *without* path compression — compressed
+/// parent pointers could skip across a scope boundary and survive the
+/// rollback — so `find` stays O(log n) instead of O(α(n)), a fine trade
+/// at this scale.
+pub struct Euf {
     parent: Vec<u32>,
     rank: Vec<u32>,
     /// Asserted disequalities.
     diseqs: Vec<(TermId, TermId)>,
-    /// Pending merges.
-    pending: Vec<(TermId, TermId)>,
+    /// Asserted equalities, append-only; `applied` marks how many have
+    /// been merged into the union-find so far. A rollback rewinds
+    /// `applied` instead of losing assertions that were merged late.
+    eqs: Vec<(TermId, TermId)>,
+    applied: usize,
+    /// Undo trail of performed merges: `(child_root, root, rank_bumped)`.
+    undo: Vec<(u32, u32, bool)>,
+    /// Scope marks: watermarks into `undo`, `diseqs`, and `eqs`, plus
+    /// the `applied` cursor at push time.
+    scopes: Vec<(usize, usize, usize, usize)>,
 }
 
-impl<'a> Euf<'a> {
+impl Euf {
     /// Creates a closure engine over all terms currently in the arena.
-    pub fn new(arena: &'a TermArena) -> Euf<'a> {
+    pub fn new(arena: &TermArena) -> Euf {
         let n = arena.len();
         Euf {
-            arena,
             parent: (0..n as u32).collect(),
             rank: vec![0; n],
             diseqs: Vec::new(),
-            pending: Vec::new(),
+            eqs: Vec::new(),
+            applied: 0,
+            undo: Vec::new(),
+            scopes: Vec::new(),
         }
+    }
+
+    /// Extends the union-find to cover terms interned since construction
+    /// (new terms start as singleton classes).
+    pub fn grow(&mut self, arena: &TermArena) {
+        let n = arena.len();
+        while self.parent.len() < n {
+            self.parent.push(self.parent.len() as u32);
+            self.rank.push(0);
+        }
+    }
+
+    /// Opens an assertion scope; [`Euf::pop`] undoes everything asserted
+    /// and merged after this call.
+    pub fn push(&mut self) {
+        self.scopes.push((
+            self.undo.len(),
+            self.diseqs.len(),
+            self.eqs.len(),
+            self.applied,
+        ));
+    }
+
+    /// Closes the innermost scope, rolling back merges in reverse trail
+    /// order and discarding scoped disequalities and equalities. The
+    /// `applied` cursor rewinds to its push-time value, so pre-scope
+    /// equalities that were merged *inside* the scope (and hence rolled
+    /// back with it) are re-merged by the next [`Euf::check`].
+    ///
+    /// Terms interned (and [`Euf::grow`]n) inside the scope are kept as
+    /// singleton classes: stale terms are harmless and the arena itself
+    /// is monotone.
+    pub fn pop(&mut self) {
+        let (undo_mark, diseq_mark, eqs_mark, applied_mark) =
+            self.scopes.pop().expect("pop without matching push");
+        while self.undo.len() > undo_mark {
+            let (child, root, bumped) = self.undo.pop().expect("nonempty undo");
+            self.parent[child as usize] = child;
+            if bumped {
+                self.rank[root as usize] -= 1;
+            }
+        }
+        self.diseqs.truncate(diseq_mark);
+        self.eqs.truncate(eqs_mark);
+        self.applied = applied_mark;
     }
 
     /// Representative of `t`'s class.
     pub fn find(&mut self, t: TermId) -> TermId {
         let mut r = t.0;
         while self.parent[r as usize] != r {
-            // Path halving.
-            self.parent[r as usize] = self.parent[self.parent[r as usize] as usize];
             r = self.parent[r as usize];
         }
         TermId(r)
@@ -59,7 +115,7 @@ impl<'a> Euf<'a> {
 
     /// Asserts `a = b`.
     pub fn assert_eq(&mut self, a: TermId, b: TermId) {
-        self.pending.push((a, b));
+        self.eqs.push((a, b));
     }
 
     /// Asserts `a != b`.
@@ -68,18 +124,22 @@ impl<'a> Euf<'a> {
     }
 
     /// Computes the closure and checks consistency.
-    pub fn check(&mut self) -> EufResult {
-        // Fixpoint: merge pending pairs, then recompute congruences until
-        // no new merge appears.
+    pub fn check(&mut self, arena: &TermArena) -> EufResult {
+        // Fixpoint: merge unapplied asserted pairs, then recompute
+        // congruences until no new merge appears. Congruence-derived
+        // merges go straight into the union-find (recorded on the undo
+        // trail), not into `eqs`, so a rollback never replays them.
         loop {
-            while let Some((a, b)) = self.pending.pop() {
+            while self.applied < self.eqs.len() {
+                let (a, b) = self.eqs[self.applied];
+                self.applied += 1;
                 self.merge(a, b);
             }
-            if !self.propagate_congruences() {
+            if !self.propagate_congruences(arena) {
                 break;
             }
         }
-        if self.has_conflict() {
+        if self.has_conflict(arena) {
             EufResult::Unsat
         } else {
             EufResult::Sat
@@ -102,25 +162,26 @@ impl<'a> Euf<'a> {
         } else {
             (rb, ra)
         };
-        if self.rank[child.index()] == self.rank[root.index()] {
+        let bumped = self.rank[child.index()] == self.rank[root.index()];
+        if bumped {
             self.rank[root.index()] += 1;
         }
         self.parent[child.0 as usize] = root.0;
+        self.undo.push((child.0, root.0, bumped));
     }
 
-    /// One congruence pass; returns true if any merge was queued.
-    fn propagate_congruences(&mut self) -> bool {
+    /// One congruence pass; returns true if any merge was performed.
+    fn propagate_congruences(&mut self, arena: &TermArena) -> bool {
         let mut sigs: HashMap<(dsolve_logic::Symbol, Vec<TermId>), TermId> = HashMap::new();
-        let mut changed = false;
-        for id in self.arena.ids() {
-            if let Term::App(f, args) = self.arena.term(id) {
+        let mut merges: Vec<(TermId, TermId)> = Vec::new();
+        for id in arena.ids() {
+            if let Term::App(f, args) = arena.term(id) {
                 let canon: Vec<TermId> = args.iter().map(|a| self.find(*a)).collect();
                 match sigs.entry((*f, canon)) {
                     std::collections::hash_map::Entry::Occupied(prev) => {
                         let other = *prev.get();
                         if self.find(other) != self.find(id) {
-                            self.pending.push((other, id));
-                            changed = true;
+                            merges.push((other, id));
                         }
                     }
                     std::collections::hash_map::Entry::Vacant(v) => {
@@ -129,29 +190,33 @@ impl<'a> Euf<'a> {
                 }
             }
         }
+        let changed = !merges.is_empty();
+        for (a, b) in merges {
+            self.merge(a, b);
+        }
         changed
     }
 
-    fn has_conflict(&mut self) -> bool {
+    fn has_conflict(&mut self, arena: &TermArena) -> bool {
         // Disequality merged into one class.
-        let diseqs = self.diseqs.clone();
-        for (a, b) in diseqs {
+        for i in 0..self.diseqs.len() {
+            let (a, b) = self.diseqs[i];
             if self.find(a) == self.find(b) {
                 return true;
             }
         }
         // Two distinct constants in one class.
-        let mut const_of_class: HashMap<TermId, &Term> = HashMap::new();
-        for id in self.arena.ids() {
-            let t = self.arena.term(id);
+        let mut const_of_class: HashMap<TermId, TermId> = HashMap::new();
+        for id in arena.ids() {
+            let t = arena.term(id);
             if matches!(t, Term::Int(_) | Term::Bool(_)) {
                 let root = self.find(id);
                 if let Some(prev) = const_of_class.get(&root) {
-                    if **prev != *t {
+                    if *arena.term(*prev) != *t {
                         return true;
                     }
                 } else {
-                    const_of_class.insert(root, t);
+                    const_of_class.insert(root, id);
                 }
             }
         }
@@ -196,7 +261,7 @@ mod tests {
         let (x, y, _, fx, fy, _) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
         let mut euf = Euf::new(&arena);
         euf.assert_eq(x, y);
-        assert_eq!(euf.check(), EufResult::Sat);
+        assert_eq!(euf.check(&arena), EufResult::Sat);
         assert!(euf.same_class(fx, fy));
     }
 
@@ -208,7 +273,7 @@ mod tests {
         euf.assert_eq(x, y);
         euf.assert_eq(y, z);
         euf.assert_ne(x, z);
-        assert_eq!(euf.check(), EufResult::Unsat);
+        assert_eq!(euf.check(&arena), EufResult::Unsat);
     }
 
     #[test]
@@ -220,7 +285,7 @@ mod tests {
         let mut euf = Euf::new(&arena);
         euf.assert_eq(x, fx);
         euf.assert_ne(ffx, x);
-        assert_eq!(euf.check(), EufResult::Unsat);
+        assert_eq!(euf.check(&arena), EufResult::Unsat);
     }
 
     #[test]
@@ -232,7 +297,7 @@ mod tests {
         let mut euf = Euf::new(&a);
         euf.assert_eq(x, one);
         euf.assert_eq(x, two);
-        assert_eq!(euf.check(), EufResult::Unsat);
+        assert_eq!(euf.check(&a), EufResult::Unsat);
     }
 
     #[test]
@@ -242,7 +307,7 @@ mod tests {
         let f = a.intern(Term::Bool(false), Sort::Bool);
         let mut euf = Euf::new(&a);
         euf.assert_eq(t, f);
-        assert_eq!(euf.check(), EufResult::Unsat);
+        assert_eq!(euf.check(&a), EufResult::Unsat);
     }
 
     #[test]
@@ -251,7 +316,7 @@ mod tests {
         let (x, y) = (ids[0], ids[1]);
         let mut euf = Euf::new(&arena);
         euf.assert_ne(x, y);
-        assert_eq!(euf.check(), EufResult::Sat);
+        assert_eq!(euf.check(&arena), EufResult::Sat);
         assert!(!euf.same_class(x, y));
     }
 
@@ -261,8 +326,99 @@ mod tests {
         let (x, y, z) = (ids[0], ids[1], ids[2]);
         let mut euf = Euf::new(&arena);
         euf.assert_eq(x, y);
-        assert_eq!(euf.check(), EufResult::Sat);
+        assert_eq!(euf.check(&arena), EufResult::Sat);
         let eqs = euf.equalities_among(&[x, y, z]);
         assert_eq!(eqs, vec![(x, y)]);
+    }
+
+    #[test]
+    fn pop_rolls_back_scoped_merges() {
+        let (arena, ids) = setup();
+        let (x, y, z, fx, fy) = (ids[0], ids[1], ids[2], ids[3], ids[4]);
+        let mut euf = Euf::new(&arena);
+        euf.assert_eq(x, y);
+        assert_eq!(euf.check(&arena), EufResult::Sat);
+        euf.push();
+        euf.assert_eq(y, z);
+        euf.assert_ne(x, z);
+        assert_eq!(euf.check(&arena), EufResult::Unsat);
+        euf.pop();
+        // Base-scope facts survive, scoped ones are gone.
+        assert_eq!(euf.check(&arena), EufResult::Sat);
+        assert!(euf.same_class(x, y));
+        assert!(euf.same_class(fx, fy));
+        assert!(!euf.same_class(x, z));
+    }
+
+    #[test]
+    fn pop_replays_unchecked_base_equalities() {
+        // An equality asserted *before* push but first merged (by check)
+        // *inside* the scope must survive the pop: the applied cursor
+        // rewinds with the scope and the next check re-merges it.
+        let (arena, ids) = setup();
+        let (x, y, z) = (ids[0], ids[1], ids[2]);
+        let mut euf = Euf::new(&arena);
+        euf.assert_eq(x, y);
+        euf.push();
+        euf.assert_eq(y, z);
+        assert_eq!(euf.check(&arena), EufResult::Sat);
+        euf.pop();
+        assert_eq!(euf.check(&arena), EufResult::Sat);
+        assert!(euf.same_class(x, y));
+        assert!(!euf.same_class(x, z));
+    }
+
+    #[test]
+    fn nested_scopes_unwind_in_order() {
+        let (arena, ids) = setup();
+        let (x, y, z) = (ids[0], ids[1], ids[2]);
+        let mut euf = Euf::new(&arena);
+        euf.push();
+        euf.assert_eq(x, y);
+        assert_eq!(euf.check(&arena), EufResult::Sat);
+        euf.push();
+        euf.assert_eq(y, z);
+        assert_eq!(euf.check(&arena), EufResult::Sat);
+        assert!(euf.same_class(x, z));
+        euf.pop();
+        assert_eq!(euf.check(&arena), EufResult::Sat);
+        assert!(euf.same_class(x, y));
+        assert!(!euf.same_class(x, z));
+        euf.pop();
+        assert_eq!(euf.check(&arena), EufResult::Sat);
+        assert!(!euf.same_class(x, y));
+    }
+
+    #[test]
+    fn grow_covers_new_terms() {
+        let (mut arena, ids) = setup();
+        let (x, y) = (ids[0], ids[1]);
+        let mut euf = Euf::new(&arena);
+        euf.assert_eq(x, y);
+        assert_eq!(euf.check(&arena), EufResult::Sat);
+        // Intern a new application after construction; grow() must cover
+        // it and congruence must still fire.
+        let gx = arena.intern(Term::App(Symbol::new("g"), vec![x]), Sort::Int);
+        let gy = arena.intern(Term::App(Symbol::new("g"), vec![y]), Sort::Int);
+        euf.grow(&arena);
+        assert_eq!(euf.check(&arena), EufResult::Sat);
+        assert!(euf.same_class(gx, gy));
+    }
+
+    #[test]
+    fn congruence_merges_do_not_survive_pop() {
+        // Congruence-derived merges are recorded only on the undo trail,
+        // never in the assertion log, so pop must fully undo them.
+        let (arena, ids) = setup();
+        let (x, y, fx, fy) = (ids[0], ids[1], ids[3], ids[4]);
+        let mut euf = Euf::new(&arena);
+        euf.push();
+        euf.assert_eq(x, y);
+        assert_eq!(euf.check(&arena), EufResult::Sat);
+        assert!(euf.same_class(fx, fy));
+        euf.pop();
+        assert_eq!(euf.check(&arena), EufResult::Sat);
+        assert!(!euf.same_class(fx, fy));
+        assert!(!euf.same_class(x, y));
     }
 }

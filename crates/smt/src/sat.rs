@@ -115,6 +115,15 @@ pub struct CdclSolver {
     act_inc: f64,
     /// Empty clause added directly.
     unsat: bool,
+    /// Original literals of lemmas added while a scope was open, kept
+    /// so [`CdclSolver::pop_scope`] can replay them unsimplified (the
+    /// in-place clause may have had literals stripped against scoped
+    /// level-0 units, which would bake scoped assumptions into a
+    /// clause that outlives the scope).
+    lemma_store: Vec<Vec<Lit>>,
+    /// Open scopes: clause count, root-trail length, lemma-store
+    /// length, and the `unsat` flag at push time.
+    scope_marks: Vec<(usize, usize, usize, bool)>,
 }
 
 impl Default for CdclSolver {
@@ -139,6 +148,8 @@ impl CdclSolver {
             activity: Vec::new(),
             act_inc: 1.0,
             unsat: false,
+            lemma_store: Vec::new(),
+            scope_marks: Vec::new(),
         }
     }
 
@@ -162,8 +173,72 @@ impl CdclSolver {
 
     /// Adds a clause. May only be called between `solve` calls (the solver
     /// backtracks to level 0 before returning, and blocking clauses are
-    /// added there).
-    pub fn add_clause(&mut self, mut lits: Vec<Lit>) {
+    /// added there). Clauses added while a scope is open are discarded by
+    /// the matching [`CdclSolver::pop_scope`].
+    pub fn add_clause(&mut self, lits: Vec<Lit>) {
+        self.add_clause_inner(lits);
+    }
+
+    /// Adds a *lemma*: a clause the caller guarantees is valid in the
+    /// background theory (a theory blocking clause, an axiom instance, a
+    /// saturation lemma). Lemmas survive [`CdclSolver::pop_scope`] — on
+    /// pop they are replayed from their original literals, so scoped
+    /// level-0 simplification cannot leak into the retained clause.
+    pub fn add_lemma(&mut self, lits: Vec<Lit>) {
+        if !self.scope_marks.is_empty() {
+            self.lemma_store.push(lits.clone());
+        }
+        self.add_clause_inner(lits);
+    }
+
+    /// Opens an assertion scope. The solver first backtracks to level 0,
+    /// so the scope mark cleanly separates root-level state.
+    pub fn push_scope(&mut self) {
+        self.reset_to_root();
+        self.scope_marks.push((
+            self.clauses.len(),
+            self.trail.len(),
+            self.lemma_store.len(),
+            self.unsat,
+        ));
+    }
+
+    /// Closes the innermost scope: drops every clause added since the
+    /// matching [`CdclSolver::push_scope`] (scoped asserts *and* learned
+    /// clauses, which may depend on them), unassigns root-trail entries
+    /// made since, and replays retained lemmas. Unit propagation is
+    /// restarted from the trail head, restoring the propagation fixpoint
+    /// of the surviving clause set.
+    pub fn pop_scope(&mut self) {
+        self.reset_to_root();
+        let (clause_mark, trail_mark, lemma_mark, was_unsat) =
+            self.scope_marks.pop().expect("pop without matching push");
+        // Unassign root-level assignments made inside the scope. Reasons
+        // of surviving prefix entries always predate the scope's clauses
+        // (a reason is recorded at enqueue time), so truncation below
+        // cannot dangle them.
+        while self.trail.len() > trail_mark {
+            let l = self.trail.pop().expect("nonempty trail");
+            let v = l.var().0 as usize;
+            self.assign[v] = Assign::Unassigned;
+            self.reason[v] = None;
+        }
+        self.prop_head = 0;
+        // Drop scoped clauses and any watch-list entries pointing at them.
+        for w in &mut self.watches {
+            w.retain(|&cref| cref < clause_mark);
+        }
+        self.clauses.truncate(clause_mark);
+        self.unsat = was_unsat;
+        // Replay lemmas recorded inside the scope; if an enclosing scope
+        // is still open, add_lemma re-records them for its pop.
+        let replay: Vec<Vec<Lit>> = self.lemma_store.split_off(lemma_mark);
+        for lits in replay {
+            self.add_lemma(lits);
+        }
+    }
+
+    fn add_clause_inner(&mut self, mut lits: Vec<Lit>) {
         debug_assert!(self.trail_lim.is_empty(), "add_clause above level 0");
         // Simplify: dedupe, drop tautologies and false literals.
         lits.sort();
@@ -612,6 +687,131 @@ mod tests {
         let past = Instant::now() - std::time::Duration::from_millis(1);
         assert_eq!(s.solve_within(Some(past), u64::MAX), SatResult::Unknown);
         assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn pop_discards_scoped_clauses() {
+        let mut s = CdclSolver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(vec![Lit::pos(v[0]), Lit::pos(v[1])]);
+        s.push_scope();
+        s.add_clause(vec![Lit::neg(v[0])]);
+        s.add_clause(vec![Lit::neg(v[1])]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        s.pop_scope();
+        // The base instance is satisfiable again.
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.model_value(v[0]) || s.model_value(v[1]));
+        // And a fresh scoped constraint can still flip each variable.
+        s.push_scope();
+        s.add_clause(vec![Lit::neg(v[0])]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.model_value(v[1]));
+        s.pop_scope();
+    }
+
+    #[test]
+    fn lemmas_survive_pop() {
+        // Block a model inside a scope via add_lemma; after pop the
+        // blocking clause still constrains the search.
+        let mut s = CdclSolver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(vec![Lit::pos(v[0]), Lit::pos(v[1])]);
+        s.push_scope();
+        s.add_lemma(vec![Lit::neg(v[0]), Lit::pos(v[1])]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        s.pop_scope();
+        s.add_clause(vec![Lit::pos(v[0])]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        // The retained lemma ¬a ∨ b forces b once a holds.
+        assert!(s.model_value(v[1]));
+    }
+
+    #[test]
+    fn unit_lemma_survives_pop() {
+        let mut s = CdclSolver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(vec![Lit::pos(v[0]), Lit::pos(v[1])]);
+        s.push_scope();
+        s.add_lemma(vec![Lit::neg(v[0])]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.model_value(v[1]));
+        s.pop_scope();
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(!s.model_value(v[0]), "unit lemma lost across pop");
+    }
+
+    #[test]
+    fn lemma_simplified_under_scoped_unit_replays_unsimplified() {
+        // Inside the scope, unit ¬a lets add_lemma strip `a` from the
+        // stored clause (a ∨ b → b). After pop the lemma must act as the
+        // original a ∨ b: with ¬b asserted, a must still be available.
+        let mut s = CdclSolver::new();
+        let v = lits(&mut s, 2);
+        s.push_scope();
+        s.add_clause(vec![Lit::neg(v[0])]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        s.reset_to_root();
+        s.add_lemma(vec![Lit::pos(v[0]), Lit::pos(v[1])]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.model_value(v[1]));
+        s.pop_scope();
+        s.add_clause(vec![Lit::neg(v[1])]);
+        assert_eq!(
+            s.solve(),
+            SatResult::Sat,
+            "a truncated lemma would make this unsat"
+        );
+        assert!(s.model_value(v[0]));
+    }
+
+    #[test]
+    fn nested_scopes_with_search_between() {
+        let mut s = CdclSolver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(vec![Lit::pos(v[0]), Lit::pos(v[1]), Lit::pos(v[2])]);
+        s.push_scope();
+        s.add_clause(vec![Lit::neg(v[0])]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        s.push_scope();
+        s.add_clause(vec![Lit::neg(v[1])]);
+        s.add_clause(vec![Lit::neg(v[2])]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        s.pop_scope();
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.model_value(v[1]) || s.model_value(v[2]));
+        s.pop_scope();
+        s.add_clause(vec![Lit::neg(v[1]), Lit::neg(v[2])]);
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn scoped_unsat_flag_restores() {
+        let mut s = CdclSolver::new();
+        let v = lits(&mut s, 1);
+        s.push_scope();
+        s.add_clause(vec![Lit::pos(v[0])]);
+        s.add_clause(vec![Lit::neg(v[0])]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        s.pop_scope();
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn new_vars_inside_scope_stay_usable_after_pop() {
+        let mut s = CdclSolver::new();
+        let a = s.new_var();
+        s.push_scope();
+        let b = s.new_var();
+        s.add_clause(vec![Lit::pos(b)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.model_value(b));
+        s.pop_scope();
+        // b still exists as a free variable.
+        s.add_clause(vec![Lit::neg(b), Lit::pos(a)]);
+        s.add_clause(vec![Lit::pos(b)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.model_value(a));
     }
 
     #[test]

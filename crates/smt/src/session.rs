@@ -1,0 +1,281 @@
+//! Incremental solving sessions: a persistent encoder + SAT core with
+//! assertion scopes.
+//!
+//! A [`Session`] keeps the atom table, term arena, CNF variable map,
+//! and the CDCL clause database alive across many related queries, so
+//! that checking dozens of consequents under one antecedent re-encodes
+//! only the consequent instead of the whole formula. Scoped assertions
+//! are undone by [`Session::pop`] via the SAT core's clause watermark;
+//! everything *definitional or theory-valid* — Tseitin variables for
+//! split equalities, set-saturation lemmas, array-axiom instances, and
+//! theory blocking clauses — is retained across pops, because a valid
+//! clause can never change a verdict, only speed it up.
+//!
+//! The preprocessing pipeline mirrors the scratch solver's
+//! (`canonicalize sets → saturate set lemmas → instantiate array
+//! axioms → eliminate ite → encode`), restructured so the lemma passes
+//! yield *lists* regenerated from the full asserted conjunction at each
+//! check (deduplicated against a monotone seen-set — the instantiation
+//! watermark), and set canonicalization runs per asserted predicate
+//! (sound because it distributes over conjunction).
+
+use crate::arrays::array_axiom_lemmas;
+use crate::cnf::{encode_incremental, AtomId, Atoms, EncodeCtx};
+use crate::sat::{CdclSolver, Lit, SatResult};
+use crate::sets::{canonicalize_sets, set_saturation_lemma_list};
+use crate::solver::{eliminate_ite, SmtResult, SolverStats};
+use crate::theory::{check_assignment, TheoryBudget, TheoryResult};
+use dsolve_logic::{deadline_expired, Budget, Exhaustion, Phase, Pred, Resource, SortEnv};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Persistent state for one incremental solving session.
+pub(crate) struct Session {
+    /// Sort environment, extended by fresh `ite` definition variables.
+    env: SortEnv,
+    atoms: Atoms,
+    ctx: EncodeCtx,
+    sat: CdclSolver,
+    array_axioms: bool,
+    /// Canonicalized asserted predicates, in assertion order. Scopes
+    /// truncate this on pop.
+    asserted: Vec<Pred>,
+    /// How many of `asserted` have been encoded into the SAT core.
+    encoded_upto: usize,
+    /// Open scopes: `(asserted length, choice flag)` at push time.
+    scopes: Vec<(usize, bool)>,
+    /// Lemma predicates already encoded, across the whole session.
+    /// Monotone: retained lemma clauses survive pops, so this never
+    /// shrinks.
+    lemma_seen: HashSet<Pred>,
+    /// Whether the current clause database leaves the SAT solver any
+    /// real choice (some clause with more than one literal) — used to
+    /// skip conflict-core minimization on purely conjunctive queries.
+    choice: bool,
+    /// Like `choice`, but set only by retained (lemma) clauses; pops
+    /// restore `choice` to its push-time value OR'd with this.
+    lemma_choice: bool,
+}
+
+impl Session {
+    /// Creates an empty session over (a clone of) `env`.
+    pub(crate) fn new(env: SortEnv, array_axioms: bool) -> Session {
+        Session {
+            env,
+            atoms: Atoms::new(),
+            ctx: EncodeCtx::new(),
+            sat: CdclSolver::new(),
+            array_axioms,
+            asserted: Vec::new(),
+            encoded_upto: 0,
+            scopes: Vec::new(),
+            lemma_seen: HashSet::new(),
+            choice: false,
+            lemma_choice: false,
+        }
+    }
+
+    /// Opens an assertion scope.
+    ///
+    /// Encoding of pending assertions is flushed *first*: clauses for a
+    /// predicate asserted outside this scope must enter the SAT core
+    /// below the scope's clause watermark, or [`Session::pop`] would
+    /// discard them while `encoded_upto` still counts them as encoded.
+    pub(crate) fn push(&mut self) {
+        self.encode_pending();
+        self.scopes.push((self.asserted.len(), self.choice));
+        self.sat.push_scope();
+    }
+
+    /// Closes the innermost scope, dropping its assertions (clauses,
+    /// root-level units) while keeping every retained lemma.
+    pub(crate) fn pop(&mut self) {
+        let (mark, choice) = self.scopes.pop().expect("pop without matching push");
+        self.asserted.truncate(mark);
+        self.encoded_upto = self.encoded_upto.min(mark);
+        self.sat.pop_scope();
+        self.choice = choice || self.lemma_choice;
+    }
+
+    /// Asserts `p` (conjoined with everything previously asserted).
+    /// Set canonicalization happens here, per predicate; the encoding
+    /// itself is deferred to [`Session::check`].
+    pub(crate) fn assert_pred(&mut self, p: &Pred) {
+        self.asserted.push(canonicalize_sets(p));
+    }
+
+    fn grow_sat(&mut self) {
+        while self.sat.num_vars() < self.ctx.num_vars() {
+            self.sat.new_var();
+        }
+    }
+
+    fn add_lemma_clauses(&mut self, clauses: Vec<Vec<Lit>>) {
+        for c in clauses {
+            if c.len() > 1 {
+                self.choice = true;
+                self.lemma_choice = true;
+            }
+            self.sat.add_lemma(c);
+        }
+    }
+
+    /// Encodes assertions not yet in the SAT core, at the current scope
+    /// depth. Clause additions require root level, so a prior `Sat`
+    /// answer's trail is unwound first.
+    fn encode_pending(&mut self) {
+        if self.encoded_upto == self.asserted.len() {
+            return;
+        }
+        self.sat.reset_to_root();
+        while self.encoded_upto < self.asserted.len() {
+            let p = self.asserted[self.encoded_upto].clone();
+            self.encoded_upto += 1;
+            let p = eliminate_ite(&p, &mut self.env);
+            let unit = encode_incremental(&p, &mut self.atoms, &self.env, &mut self.ctx);
+            self.grow_sat();
+            for c in unit.clauses {
+                if c.len() > 1 {
+                    self.choice = true;
+                }
+                self.sat.add_clause(c);
+            }
+            self.add_lemma_clauses(unit.lemma_clauses);
+        }
+    }
+
+    /// Decides satisfiability of the asserted conjunction, mirroring the
+    /// scratch solver's DPLL(T) loop. Entry budgets (query cap, overall
+    /// deadline) are the caller's responsibility.
+    pub(crate) fn check(
+        &mut self,
+        budget: &Budget,
+        deadline: Option<Instant>,
+        stats: &mut SolverStats,
+    ) -> SmtResult {
+        // A previous check may have returned Sat with decisions still on
+        // the trail; clause additions require root level.
+        self.sat.reset_to_root();
+
+        // Lemma generation runs over the *full* current conjunction:
+        // saturation interacts across asserted predicates, and the array
+        // pass also instantiates over terms the set lemmas introduce,
+        // exactly as the scratch pipeline (which strengthens first and
+        // instantiates second) does.
+        let conj = match self.asserted.len() {
+            0 => Pred::True,
+            1 => self.asserted[0].clone(),
+            _ => Pred::and(self.asserted.clone()),
+        };
+        let (set_lemmas, saturation_truncated) =
+            set_saturation_lemma_list(&conj, budget.max_saturation_lemmas);
+        let arr_lemmas = if self.array_axioms {
+            let mut parts = vec![conj];
+            parts.extend(set_lemmas.iter().cloned());
+            array_axiom_lemmas(&Pred::and(parts))
+        } else {
+            Vec::new()
+        };
+
+        // Encode assertions made since the last push/check at the
+        // current scope depth.
+        self.encode_pending();
+
+        // Encode lemmas not seen before as retained clauses. Each lemma
+        // is valid on its own (guarded ground instances), so retention
+        // across pops cannot flip a verdict.
+        for lem in set_lemmas.into_iter().chain(arr_lemmas) {
+            if !self.lemma_seen.insert(lem.clone()) {
+                continue;
+            }
+            let lem = eliminate_ite(&lem, &mut self.env);
+            let unit = encode_incremental(&lem, &mut self.atoms, &self.env, &mut self.ctx);
+            self.grow_sat();
+            self.add_lemma_clauses(unit.clauses);
+            self.add_lemma_clauses(unit.lemma_clauses);
+        }
+
+        // Every atom needs a SAT variable before model extraction (atoms
+        // from popped scopes linger in the table; their values are
+        // unconstrained, which is sound — the theory layer refutes any
+        // inconsistent polarity with a blocking lemma, and a consistent
+        // polarity extension always exists).
+        for i in 0..self.atoms.len() {
+            let _ = self.ctx.var_of_atom(AtomId(i as u32));
+        }
+        self.grow_sat();
+
+        let theory_budget = TheoryBudget {
+            bb_nodes: budget.max_bb_nodes,
+            deadline,
+        };
+        let sat_verdict = |truncated: bool| {
+            if truncated {
+                SmtResult::Unknown(Exhaustion::with_detail(
+                    Phase::Saturation,
+                    Resource::SaturationLemmas,
+                    format!("cap {}", budget.max_saturation_lemmas),
+                ))
+            } else {
+                SmtResult::Sat
+            }
+        };
+
+        let minimize = self.choice;
+        let mut conflicts = 0u64;
+        loop {
+            match self.sat.solve_within(deadline, budget.max_sat_conflicts) {
+                SatResult::Unsat => return SmtResult::Unsat,
+                SatResult::Unknown => {
+                    let resource = if deadline_expired(deadline) {
+                        Resource::Deadline
+                    } else {
+                        Resource::SatConflicts
+                    };
+                    return SmtResult::Unknown(Exhaustion::new(Phase::Sat, resource));
+                }
+                SatResult::Sat => {
+                    let assignment: Vec<(AtomId, bool)> = (0..self.atoms.len())
+                        .map(|i| {
+                            let aid = AtomId(i as u32);
+                            let v = self.ctx.lookup_atom(aid).expect("atom mapped above");
+                            (aid, self.sat.model_value(v))
+                        })
+                        .collect();
+                    stats.theory_checks += 1;
+                    match check_assignment(&self.atoms, &assignment, minimize, &theory_budget) {
+                        TheoryResult::Sat => return sat_verdict(saturation_truncated),
+                        TheoryResult::Unknown(resource) => {
+                            return SmtResult::Unknown(Exhaustion::new(Phase::Simplex, resource));
+                        }
+                        TheoryResult::Unsat(core) => {
+                            stats.theory_conflicts += 1;
+                            conflicts += 1;
+                            if conflicts > budget.max_theory_conflicts {
+                                return SmtResult::Unknown(Exhaustion::with_detail(
+                                    Phase::Smt,
+                                    Resource::TheoryConflicts,
+                                    format!("cap {}", budget.max_theory_conflicts),
+                                ));
+                            }
+                            // Theory blocking clauses are valid facts and
+                            // therefore retained lemmas: a refuted atom
+                            // combination stays refuted in every scope.
+                            let block: Vec<Lit> = core
+                                .iter()
+                                .map(|&ix| {
+                                    let (aid, val) = assignment[ix];
+                                    let v =
+                                        self.ctx.lookup_atom(aid).expect("atom mapped above");
+                                    Lit::new(v, !val)
+                                })
+                                .collect();
+                            self.sat.reset_to_root();
+                            self.add_lemma_clauses(vec![block]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

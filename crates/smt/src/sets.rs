@@ -135,6 +135,27 @@ fn flatten_set(e: &Expr, out: &mut Vec<Expr>) {
 /// Call on a formula that is already in canonical form (see
 /// [`canonicalize_sets`]).
 pub fn set_saturation_lemmas(p: &Pred, max_lemmas: u64) -> (Pred, bool) {
+    let (lemmas, truncated) = set_saturation_lemma_list(p, max_lemmas);
+    let strengthened = if lemmas.is_empty() {
+        p.clone()
+    } else {
+        let mut parts = vec![p.clone()];
+        parts.extend(lemmas);
+        Pred::and(parts)
+    };
+    (strengthened, truncated)
+}
+
+/// The lemma list behind [`set_saturation_lemmas`], without conjoining:
+/// returns the guarded ground instances (each one a valid fact of the
+/// set theory) and the truncation flag. Incremental callers feed these
+/// to the SAT core as retained lemma clauses instead of rebuilding the
+/// strengthened conjunction.
+///
+/// The traversal order is identical to [`set_saturation_lemmas`], so
+/// for a fixed formula the two produce the same lemmas in the same
+/// order.
+pub fn set_saturation_lemma_list(p: &Pred, max_lemmas: u64) -> (Vec<Pred>, bool) {
     use std::collections::BTreeSet;
 
     // Collect equality pairs over set-shaped sides and all union terms.
@@ -208,14 +229,7 @@ pub fn set_saturation_lemmas(p: &Pred, max_lemmas: u64) -> (Pred, bool) {
         }
     }
 
-    let strengthened = if lemmas.is_empty() {
-        p.clone()
-    } else {
-        let mut parts = vec![p.clone()];
-        parts.extend(lemmas);
-        Pred::and(parts)
-    };
-    (strengthened, truncated)
+    (lemmas, truncated)
 }
 
 fn canon_of_leaves(mut leaves: Vec<Expr>) -> Expr {

@@ -31,6 +31,16 @@ pub enum LpResult {
 }
 
 /// A simplex tableau over rational variables with optional integrality.
+///
+/// The tableau supports assertion scopes: [`Simplex::push`] marks a
+/// point and [`Simplex::pop`] restores every bound tightened since.
+/// Only *bounds* are assertions here — rows are definitions
+/// (`s = Σ cᵢ·xᵢ`) and stay valid forever, so the undo trail records
+/// nothing but displaced bounds. Pivoting merely re-parameterizes the
+/// same equation system and β always satisfies the equations and all
+/// nonbasic bounds (restored bounds are weaker, so it keeps
+/// satisfying them); [`Simplex::check`] repairs any basic variable a
+/// restored bound leaves violated.
 #[derive(Clone, Debug, Default)]
 pub struct Simplex {
     nvars: usize,
@@ -42,6 +52,11 @@ pub struct Simplex {
     rows: Vec<HashMap<usize, Rat>>,
     basic: Vec<usize>,
     row_of: HashMap<usize, usize>,
+    /// Displaced bounds: `(var, is_lower, previous bound)`. Recorded
+    /// only while at least one scope is open.
+    trail: Vec<(usize, bool, Option<Rat>)>,
+    /// Trail watermarks for open scopes.
+    scopes: Vec<usize>,
 }
 
 impl Simplex {
@@ -100,6 +115,30 @@ impl Simplex {
         s
     }
 
+    /// Opens an assertion scope; [`Simplex::pop`] restores every bound
+    /// tightened after this call. Variables and rows added inside the
+    /// scope are kept — both are definitional, not assertions.
+    pub fn push(&mut self) {
+        self.scopes.push(self.trail.len());
+    }
+
+    /// Closes the innermost scope, restoring displaced bounds in
+    /// reverse order. The candidate assignment β is left as-is: it
+    /// still satisfies the (unchanged) equations, and every restored
+    /// bound is weaker than the one it replaces, so nonbasic variables
+    /// stay within bounds.
+    pub fn pop(&mut self) {
+        let mark = self.scopes.pop().expect("pop without matching push");
+        while self.trail.len() > mark {
+            let (var, is_lower, old) = self.trail.pop().expect("nonempty trail");
+            if is_lower {
+                self.lower[var] = old;
+            } else {
+                self.upper[var] = old;
+            }
+        }
+    }
+
     /// Asserts `var >= bound`; returns `false` on immediate conflict.
     pub fn assert_lower(&mut self, var: usize, bound: Rat) -> bool {
         if let Some(u) = self.upper[var] {
@@ -108,6 +147,9 @@ impl Simplex {
             }
         }
         if self.lower[var].is_none_or(|l| bound > l) {
+            if !self.scopes.is_empty() {
+                self.trail.push((var, true, self.lower[var]));
+            }
             self.lower[var] = Some(bound);
             if !self.row_of.contains_key(&var) && self.beta[var] < bound {
                 self.update(var, bound);
@@ -124,6 +166,9 @@ impl Simplex {
             }
         }
         if self.upper[var].is_none_or(|u| bound < u) {
+            if !self.scopes.is_empty() {
+                self.trail.push((var, false, self.upper[var]));
+            }
             self.upper[var] = Some(bound);
             if !self.row_of.contains_key(&var) && self.beta[var] > bound {
                 self.update(var, bound);
@@ -282,23 +327,35 @@ impl Simplex {
         *nodes -= 1;
         let val = self.beta[v];
         let mut unknown = false;
+        // Each branch tightens one bound under a scope and pops it on
+        // the way out (even on Sat: callers expect the tableau's
+        // asserted bounds unchanged by the search, exactly as the old
+        // clone-per-branch version guaranteed).
         // Branch: v <= floor(val).
-        let mut left = self.clone();
-        if left.assert_upper(v, val.floor()) {
-            match left.check_int_rec(nodes, deadline) {
-                LpResult::Sat => return LpResult::Sat,
-                LpResult::Unknown => unknown = true,
-                LpResult::Unsat => {}
-            }
+        self.push();
+        let res = if self.assert_upper(v, val.floor()) {
+            self.check_int_rec(nodes, deadline)
+        } else {
+            LpResult::Unsat
+        };
+        self.pop();
+        match res {
+            LpResult::Sat => return LpResult::Sat,
+            LpResult::Unknown => unknown = true,
+            LpResult::Unsat => {}
         }
         // Branch: v >= ceil(val).
-        let mut right = self.clone();
-        if right.assert_lower(v, val.ceil()) {
-            match right.check_int_rec(nodes, deadline) {
-                LpResult::Sat => return LpResult::Sat,
-                LpResult::Unknown => unknown = true,
-                LpResult::Unsat => {}
-            }
+        self.push();
+        let res = if self.assert_lower(v, val.ceil()) {
+            self.check_int_rec(nodes, deadline)
+        } else {
+            LpResult::Unsat
+        };
+        self.pop();
+        match res {
+            LpResult::Sat => return LpResult::Sat,
+            LpResult::Unknown => unknown = true,
+            LpResult::Unsat => {}
         }
         // An undecided branch means infeasibility was not established.
         if unknown {
@@ -437,6 +494,85 @@ mod tests {
         let d2 = s.add_row(&[(y, r(1)), (x, r(-1))]); // y - x
         assert!(s.assert_upper(d2, r(0)));
         assert_eq!(s.check(), LpResult::Unsat);
+    }
+
+    #[test]
+    fn pop_restores_displaced_bounds() {
+        let mut s = Simplex::new();
+        let x = s.new_var(true);
+        assert!(s.assert_lower(x, r(0)));
+        assert!(s.assert_upper(x, r(10)));
+        s.push();
+        assert!(s.assert_lower(x, r(5)));
+        assert!(s.assert_upper(x, r(6)));
+        assert_eq!(s.check(), LpResult::Sat);
+        assert!(s.value(x) >= r(5) && s.value(x) <= r(6));
+        s.pop();
+        // The base bounds are back and a previously excluded point is
+        // admissible again.
+        assert!(s.assert_upper(x, r(2)));
+        assert_eq!(s.check(), LpResult::Sat);
+        assert!(s.value(x) <= r(2));
+    }
+
+    #[test]
+    fn scoped_conflict_does_not_outlive_pop() {
+        // x + y <= 4 at base; scoped x >= 3, y >= 2 is infeasible, but
+        // after pop the base system is feasible again.
+        let mut s = Simplex::new();
+        let x = s.new_var(true);
+        let y = s.new_var(true);
+        let sl = s.add_row(&[(x, r(1)), (y, r(1))]);
+        assert!(s.assert_upper(sl, r(4)));
+        s.push();
+        assert!(s.assert_lower(x, r(3)));
+        assert!(s.assert_lower(y, r(2)));
+        assert_eq!(s.check(), LpResult::Unsat);
+        s.pop();
+        assert_eq!(s.check(), LpResult::Sat);
+        assert!(s.assert_lower(x, r(1)));
+        assert!(s.assert_lower(y, r(2)));
+        assert_eq!(s.check(), LpResult::Sat);
+    }
+
+    #[test]
+    fn nested_scopes_restore_in_order() {
+        let mut s = Simplex::new();
+        let x = s.new_var(true);
+        assert!(s.assert_upper(x, r(10)));
+        s.push();
+        assert!(s.assert_upper(x, r(7)));
+        s.push();
+        assert!(s.assert_upper(x, r(3)));
+        assert!(!s.assert_lower(x, r(4)));
+        s.pop();
+        // Middle scope: bound is 7 again.
+        assert!(s.assert_lower(x, r(5)));
+        assert_eq!(s.check(), LpResult::Sat);
+        s.pop();
+        // The scoped lower bound is gone and the base upper is back.
+        assert!(s.assert_lower(x, r(9)));
+        assert_eq!(s.check(), LpResult::Sat);
+        assert!(s.value(x) >= r(9) && s.value(x) <= r(10));
+    }
+
+    #[test]
+    fn branch_and_bound_leaves_bounds_intact() {
+        // After check_int the asserted bounds must be exactly what the
+        // caller asserted — the search's branch bounds must all unwind.
+        let mut s = Simplex::new();
+        let x = s.new_var(true);
+        let y = s.new_var(true);
+        let row = s.add_row(&[(x, r(2)), (y, r(2))]);
+        assert!(s.assert_lower(row, r(4)) && s.assert_upper(row, r(4)));
+        assert!(s.assert_lower(x, r(0)));
+        assert!(s.assert_lower(y, r(0)));
+        assert_eq!(s.check_int(), LpResult::Sat);
+        // x = 2 (forcing y = 0) must still be admissible: a leaked
+        // branch bound like x <= 0 or x <= 1 would reject it.
+        assert!(s.assert_lower(x, r(2)));
+        assert_eq!(s.check_int(), LpResult::Sat);
+        assert_eq!(s.value(y), r(0));
     }
 
     #[test]

@@ -32,6 +32,13 @@ pub struct SolverStats {
     pub theory_checks: u64,
     /// Blocking clauses learned from theory conflicts.
     pub theory_conflicts: u64,
+    /// Incremental sessions opened ([`SmtSolver::check_valid_many`]
+    /// batches and explicit [`SmtSolver::start_incremental`] calls).
+    pub sessions: u64,
+    /// Scoped checks decided inside incremental sessions; the ratio
+    /// `scoped_checks / sessions` is the scope reuse rate — how many
+    /// queries each shared encoding served.
+    pub scoped_checks: u64,
 }
 
 /// Configuration knobs (exposed for the ablation benchmarks).
@@ -115,6 +122,9 @@ pub struct SmtSolver {
     /// [`SmtSolver::set_deadline`] or lazily from `config.budget.timeout`
     /// on the first query).
     deadline_armed: bool,
+    /// The active incremental session, if [`SmtSolver::start_incremental`]
+    /// opened one.
+    session: Option<Box<crate::session::Session>>,
 }
 
 impl Default for SmtSolver {
@@ -126,6 +136,7 @@ impl Default for SmtSolver {
             queries: Arc::new(AtomicU64::new(0)),
             deadline: None,
             deadline_armed: false,
+            session: None,
         }
     }
 }
@@ -221,23 +232,27 @@ impl SmtSolver {
 
     /// Decides validity of `antecedent ⇒ consequent` under `env`,
     /// reporting `Unknown` when a budget runs out.
+    ///
+    /// The cache is consulted *before* any budget is charged: a hit
+    /// costs no query from `--max-smt-queries` (it does no solving),
+    /// and is served even after the cap is exhausted.
     pub fn check_valid(
         &mut self,
         env: &SortEnv,
         antecedent: &Pred,
         consequent: &Pred,
     ) -> Validity {
-        if let Some(e) = self.entry_exhaustion() {
-            return Validity::Unknown(e);
-        }
         self.stats.valid_queries += 1;
-        self.queries.fetch_add(1, Ordering::Relaxed);
         if self.config.cache {
             if let Some(v) = self.cache.get(antecedent, consequent) {
                 self.stats.cache_hits += 1;
                 return if v { Validity::Valid } else { Validity::Invalid };
             }
         }
+        if let Some(e) = self.entry_exhaustion() {
+            return Validity::Unknown(e);
+        }
+        self.queries.fetch_add(1, Ordering::Relaxed);
         let negated = Pred::and(vec![antecedent.clone(), Pred::not(consequent.clone())]);
         let verdict = self.check_sat_inner(env, &negated);
         // Only definite answers are cached: an `Unknown` under one budget
@@ -290,6 +305,160 @@ impl SmtSolver {
     /// to *satisfiable* (the solver could not refute the formula).
     pub fn is_sat(&mut self, env: &SortEnv, p: &Pred) -> bool {
         !matches!(self.check_sat(env, p), SmtResult::Unsat)
+    }
+
+    /// Opens an incremental session over `env`, replacing any session
+    /// already active. Until [`SmtSolver::end_incremental`], the scope
+    /// API ([`SmtSolver::push`], [`SmtSolver::pop`],
+    /// [`SmtSolver::assert_pred`], [`SmtSolver::check_incremental`])
+    /// operates on a persistent atom table, CNF variable map, and
+    /// clause database, so repeated checks under shared assertions
+    /// re-encode only what is new.
+    pub fn start_incremental(&mut self, env: &SortEnv) {
+        self.session = Some(Box::new(crate::session::Session::new(
+            env.clone(),
+            self.config.array_axioms,
+        )));
+        self.stats.sessions += 1;
+    }
+
+    /// Closes the active incremental session, if any, releasing its
+    /// state.
+    pub fn end_incremental(&mut self) {
+        self.session = None;
+    }
+
+    /// Opens an assertion scope in the active incremental session.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no session is active.
+    pub fn push(&mut self) {
+        self.session
+            .as_mut()
+            .expect("push: no active incremental session")
+            .push();
+    }
+
+    /// Closes the innermost assertion scope, undoing every
+    /// [`SmtSolver::assert_pred`] since the matching
+    /// [`SmtSolver::push`] (retained lemmas survive).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no session is active or no scope is open.
+    pub fn pop(&mut self) {
+        self.session
+            .as_mut()
+            .expect("pop: no active incremental session")
+            .pop();
+    }
+
+    /// Asserts `p` in the active incremental session (conjoined with
+    /// everything already asserted in the current scope stack).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no session is active.
+    pub fn assert_pred(&mut self, p: &Pred) {
+        self.session
+            .as_mut()
+            .expect("assert_pred: no active incremental session")
+            .assert_pred(p);
+    }
+
+    /// Decides satisfiability of the asserted conjunction in the active
+    /// incremental session. Charges the query budget like
+    /// [`SmtSolver::check_sat`] and reports `Unknown` on exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no session is active.
+    pub fn check_incremental(&mut self) -> SmtResult {
+        if let Some(e) = self.entry_exhaustion() {
+            return SmtResult::Unknown(e);
+        }
+        self.stats.sat_queries += 1;
+        self.stats.scoped_checks += 1;
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let deadline = self.effective_deadline();
+        let budget = self.config.budget;
+        let mut session = self
+            .session
+            .take()
+            .expect("check_incremental: no active incremental session");
+        let verdict = session.check(&budget, deadline, &mut self.stats);
+        self.session = Some(session);
+        verdict
+    }
+
+    /// Decides validity of `antecedent ⇒ consequentᵢ` for every
+    /// consequent, encoding and preprocessing the antecedent *once* and
+    /// deciding each consequent under a pushed assertion scope.
+    ///
+    /// Verdicts agree with per-query [`SmtSolver::check_valid`] (the
+    /// scoped path runs the same preprocessing and theory stack), and
+    /// definite answers populate the same shared [`QueryCache`], so
+    /// parallel workers benefit from each other's batches. Cache hits
+    /// are served without charging the query budget; each miss charges
+    /// one query against `--max-smt-queries`, exactly like the scalar
+    /// path.
+    pub fn check_valid_many(
+        &mut self,
+        env: &SortEnv,
+        antecedent: &Pred,
+        consequents: &[Pred],
+    ) -> Vec<Validity> {
+        let mut out = Vec::with_capacity(consequents.len());
+        let mut session: Option<Box<crate::session::Session>> = None;
+        let budget = self.config.budget;
+        for consequent in consequents {
+            self.stats.valid_queries += 1;
+            if self.config.cache {
+                if let Some(v) = self.cache.get(antecedent, consequent) {
+                    self.stats.cache_hits += 1;
+                    out.push(if v { Validity::Valid } else { Validity::Invalid });
+                    continue;
+                }
+            }
+            if let Some(e) = self.entry_exhaustion() {
+                out.push(Validity::Unknown(e));
+                continue;
+            }
+            self.queries.fetch_add(1, Ordering::Relaxed);
+            let deadline = self.effective_deadline();
+            if session.is_none() {
+                self.stats.sessions += 1;
+                let mut s = Box::new(crate::session::Session::new(
+                    env.clone(),
+                    self.config.array_axioms,
+                ));
+                s.assert_pred(antecedent);
+                session = Some(s);
+            }
+            let s = session.as_mut().expect("session initialized above");
+            self.stats.scoped_checks += 1;
+            s.push();
+            s.assert_pred(&Pred::not(consequent.clone()));
+            let verdict = s.check(&budget, deadline, &mut self.stats);
+            s.pop();
+            out.push(match verdict {
+                SmtResult::Unsat => {
+                    if self.config.cache {
+                        self.cache.insert(antecedent, consequent, true);
+                    }
+                    Validity::Valid
+                }
+                SmtResult::Sat => {
+                    if self.config.cache {
+                        self.cache.insert(antecedent, consequent, false);
+                    }
+                    Validity::Invalid
+                }
+                SmtResult::Unknown(e) => Validity::Unknown(e),
+            });
+        }
+        out
     }
 
     /// The shared query core: preprocess, encode, and run the lazy
@@ -411,7 +580,7 @@ fn sat_has_choice(clause_lens: &[usize]) -> bool {
 /// `ite(c,t,e)` becomes `v` with the global definition
 /// `(c ⇒ v = t) ∧ (¬c ⇒ v = e)` (equisatisfiable in any polarity because
 /// `v` is fresh and totally defined).
-fn eliminate_ite(p: &Pred, env: &mut SortEnv) -> Pred {
+pub(crate) fn eliminate_ite(p: &Pred, env: &mut SortEnv) -> Pred {
     let mut defs: Vec<Pred> = Vec::new();
     let q = elim_pred(p, env, &mut defs);
     if defs.is_empty() {
@@ -645,7 +814,9 @@ mod tests {
         let l = parse_pred("x < y").unwrap();
         let r = parse_pred("x <= y").unwrap();
         assert_eq!(smt.check_valid(&env, &l, &r), Validity::Valid);
-        match smt.check_valid(&env, &l, &r) {
+        // A *distinct* query needs solving and the cap is spent.
+        let r2 = parse_pred("x != y").unwrap();
+        match smt.check_valid(&env, &l, &r2) {
             Validity::Unknown(e) => {
                 assert_eq!(e.phase, Phase::Smt);
                 assert_eq!(e.resource, Resource::SmtQueries);
@@ -653,7 +824,134 @@ mod tests {
             other => panic!("expected Unknown, got {other:?}"),
         }
         // The boolean façade degrades soundly: not proven.
-        assert!(!smt.is_valid(&env, &l, &r));
+        assert!(!smt.is_valid(&env, &l, &r2));
+    }
+
+    #[test]
+    fn cache_hits_do_not_charge_query_budget() {
+        // Pin of the budget-accounting fix: a repeat of an answered
+        // query is a cache hit, does no solving, and must be served —
+        // and charged nothing — even once the cap is exhausted.
+        let env = env();
+        let mut smt = SmtSolver::with_config(SolverConfig {
+            budget: Budget {
+                max_smt_queries: Some(1),
+                ..Budget::default()
+            },
+            ..SolverConfig::default()
+        });
+        let l = parse_pred("x < y").unwrap();
+        let r = parse_pred("x <= y").unwrap();
+        assert_eq!(smt.check_valid(&env, &l, &r), Validity::Valid);
+        assert_eq!(smt.queries_charged(), 1);
+        for _ in 0..3 {
+            assert_eq!(smt.check_valid(&env, &l, &r), Validity::Valid);
+        }
+        assert_eq!(smt.queries_charged(), 1, "cache hits burned query budget");
+        assert_eq!(smt.stats.cache_hits, 3);
+    }
+
+    #[test]
+    fn incremental_scope_api_roundtrip() {
+        let env = env();
+        let mut smt = SmtSolver::new();
+        smt.start_incremental(&env);
+        smt.assert_pred(&parse_pred("x < y").unwrap());
+        assert_eq!(smt.check_incremental(), SmtResult::Sat);
+        smt.push();
+        smt.assert_pred(&parse_pred("y < x").unwrap());
+        assert_eq!(smt.check_incremental(), SmtResult::Unsat);
+        smt.pop();
+        assert_eq!(smt.check_incremental(), SmtResult::Sat);
+        smt.push();
+        smt.assert_pred(&parse_pred("y < z && z < x").unwrap());
+        assert_eq!(smt.check_incremental(), SmtResult::Unsat);
+        smt.pop();
+        smt.push();
+        smt.assert_pred(&parse_pred("y < z").unwrap());
+        assert_eq!(smt.check_incremental(), SmtResult::Sat);
+        smt.pop();
+        smt.end_incremental();
+        assert!(smt.stats.sessions >= 1);
+        assert!(smt.stats.scoped_checks >= 5);
+    }
+
+    #[test]
+    fn check_valid_many_agrees_with_scalar() {
+        let env = env();
+        let antecedent = parse_pred("x < y && y < z").unwrap();
+        let consequents: Vec<Pred> = [
+            "x < z",
+            "x <= z",
+            "z < x",
+            "x != z",
+            "z = x",
+            "x + 2 <= z",
+        ]
+        .iter()
+        .map(|s| parse_pred(s).unwrap())
+        .collect();
+        let mut batch = SmtSolver::new();
+        let got = batch.check_valid_many(&env, &antecedent, &consequents);
+        for (c, got) in consequents.iter().zip(&got) {
+            let mut scratch = SmtSolver::new();
+            let want = scratch.check_valid(&env, &antecedent, c);
+            assert_eq!(*got, want, "verdict mismatch on `{c}`");
+        }
+        // One session served the whole batch.
+        assert_eq!(batch.stats.sessions, 1);
+        assert_eq!(batch.stats.scoped_checks, consequents.len() as u64);
+    }
+
+    #[test]
+    fn check_valid_many_theory_lemmas() {
+        // Exercise the retained-lemma paths: arrays and sets under a
+        // shared antecedent.
+        let env = env();
+        let antecedent = parse_pred("mp = Upd(m, k, 1) && j != k").unwrap();
+        let consequents: Vec<Pred> = [
+            "Sel(mp, k) = 1",
+            "Sel(mp, j) = Sel(m, j)",
+            "Sel(mp, j) = 1",
+        ]
+        .iter()
+        .map(|s| parse_pred(s).unwrap())
+        .collect();
+        let mut smt = SmtSolver::new();
+        let got = smt.check_valid_many(&env, &antecedent, &consequents);
+        assert_eq!(
+            got,
+            vec![Validity::Valid, Validity::Valid, Validity::Invalid]
+        );
+        let ant2 = parse_pred("s = union(single(x), elts(xs)) && elts(xs) = empty").unwrap();
+        let cons2: Vec<Pred> = ["s = single(x)", "s = empty", "x in s"]
+            .iter()
+            .map(|s| parse_pred(s).unwrap())
+            .collect();
+        let got2 = smt.check_valid_many(&env, &ant2, &cons2);
+        for (c, got) in cons2.iter().zip(&got2) {
+            let mut scratch = SmtSolver::new();
+            assert_eq!(*got, scratch.check_valid(&env, &ant2, c), "on `{c}`");
+        }
+    }
+
+    #[test]
+    fn check_valid_many_populates_shared_cache() {
+        let env = env();
+        let cache = crate::QueryCache::shared();
+        let antecedent = parse_pred("x < y").unwrap();
+        let consequents = vec![parse_pred("x <= y").unwrap(), parse_pred("x != y").unwrap()];
+        let mut batch = SmtSolver::new();
+        batch.share_cache(Arc::clone(&cache));
+        let _ = batch.check_valid_many(&env, &antecedent, &consequents);
+        // A different solver sharing the cache answers from it.
+        let mut other = SmtSolver::new();
+        other.share_cache(cache);
+        assert_eq!(
+            other.check_valid(&env, &antecedent, &consequents[0]),
+            Validity::Valid
+        );
+        assert_eq!(other.stats.cache_hits, 1);
     }
 
     #[test]

@@ -195,7 +195,7 @@ fn consistent(
     // Nelson–Oppen propagation loop.
     let mut sent_to_simplex: HashSet<(TermId, TermId)> = HashSet::new();
     loop {
-        if euf.check() == EufResult::Unsat {
+        if euf.check(arena) == EufResult::Unsat {
             return Consistency::Unsat;
         }
         // EUF → simplex.

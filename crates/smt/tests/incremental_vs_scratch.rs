@@ -1,0 +1,243 @@
+//! Differential tests: the incremental (assertion-scope) solving path
+//! must agree with a fresh scratch solver on every verdict.
+//!
+//! Three surfaces are exercised over randomly generated well-sorted
+//! predicates (linear arithmetic, booleans, uninterpreted functions,
+//! and finite sets):
+//!
+//! 1. `check_valid_many` vs one scratch `check_valid` per consequent;
+//! 2. interleaved `push`/`pop`/`assert`/`check` sequences vs a scratch
+//!    `check_sat` of the matching conjunction at every check point;
+//! 3. repeated batches on one solver (session reuse + cache warmup).
+//!
+//! Case counts are deliberately small so `cargo test` stays fast; build
+//! with `--features slow-proptest` for a deeper local run.
+
+use dsolve_logic::{parse_pred, FuncSort, Pred, Sort, SortEnv, Symbol};
+use dsolve_smt::{SmtResult, SmtSolver, Validity};
+use proptest::prelude::*;
+
+#[cfg(feature = "slow-proptest")]
+const CASES: u32 = 256;
+#[cfg(not(feature = "slow-proptest"))]
+const CASES: u32 = 32;
+
+/// Fixed environment: integers, a boolean flag, a unary uninterpreted
+/// function, and two set variables.
+fn env() -> SortEnv {
+    let mut env = SortEnv::new();
+    for v in ["x", "y", "z"] {
+        env.bind(Symbol::new(v), Sort::Int);
+    }
+    env.bind(Symbol::new("b"), Sort::Bool);
+    env.bind(Symbol::new("s"), Sort::Set);
+    env.bind(Symbol::new("t"), Sort::Set);
+    env.declare_func(Symbol::new("f"), FuncSort::new(vec![Sort::Int], Sort::Int));
+    env
+}
+
+/// The atom pool. Every entry parses and is well-sorted under [`env`];
+/// together they cover arithmetic, UF congruence, and set reasoning.
+const ATOMS: [&str; 16] = [
+    "x < y",
+    "x <= y",
+    "y < z",
+    "x = y + 1",
+    "x + y <= z",
+    "0 <= x",
+    "x != z",
+    "z <= 3",
+    "b",
+    "f(x) = f(y)",
+    "f(x) <= f(z)",
+    "f(z) = y",
+    "x in s",
+    "s = union(t, single(x))",
+    "s = t",
+    "y in union(s, t)",
+];
+
+fn arb_atom() -> BoxedStrategy<Pred> {
+    (0usize..ATOMS.len())
+        .prop_map(|i| parse_pred(ATOMS[i]).unwrap())
+        .boxed()
+}
+
+/// Random predicates: atoms combined by ¬, ∧, ∨, ⇒ up to a small depth.
+fn arb_pred() -> BoxedStrategy<Pred> {
+    arb_atom().prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Pred::not),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Pred::and(vec![p, q])),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Pred::or(vec![p, q])),
+            (inner.clone(), inner).prop_map(|(p, q)| Pred::imp(p, q)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// One batched session over `consequents` must return exactly the
+    /// verdicts a fresh scratch solver computes one by one.
+    #[test]
+    fn batched_verdicts_match_scratch(
+        antecedent in arb_pred(),
+        consequents in prop::collection::vec(arb_pred(), 1..6),
+    ) {
+        let env = env();
+        let mut batch = SmtSolver::new();
+        let got = batch.check_valid_many(&env, &antecedent, &consequents);
+        prop_assert_eq!(got.len(), consequents.len());
+        for (c, got) in consequents.iter().zip(&got) {
+            let mut scratch = SmtSolver::new();
+            let want = scratch.check_valid(&env, &antecedent, c);
+            prop_assert_eq!(
+                got,
+                &want,
+                "batched disagrees with scratch on `{}` under `{}`",
+                c,
+                antecedent
+            );
+        }
+    }
+
+    /// Interleaved push/pop/assert/check: at every check point the
+    /// incremental verdict must match a scratch `check_sat` of the
+    /// conjunction of all live assertions.
+    #[test]
+    fn scoped_checks_match_scratch(
+        ops in prop::collection::vec((0u8..4, arb_pred()), 1..14),
+    ) {
+        let env = env();
+        let mut inc = SmtSolver::new();
+        inc.start_incremental(&env);
+        // Mirror of the solver's assertion stack: one frame per scope.
+        let mut frames: Vec<Vec<Pred>> = vec![Vec::new()];
+        let mut checks = 0u32;
+        for (op, p) in ops {
+            match op {
+                0 => {
+                    inc.push();
+                    frames.push(Vec::new());
+                }
+                1 => {
+                    if frames.len() > 1 {
+                        inc.pop();
+                        frames.pop();
+                    }
+                }
+                2 => {
+                    inc.assert_pred(&p);
+                    frames.last_mut().unwrap().push(p);
+                }
+                _ => {
+                    let conj =
+                        Pred::and(frames.iter().flatten().cloned().collect());
+                    let want = SmtSolver::new().check_sat(&env, &conj);
+                    let got = inc.check_incremental();
+                    checks += 1;
+                    match (&got, &want) {
+                        (SmtResult::Sat, SmtResult::Sat)
+                        | (SmtResult::Unsat, SmtResult::Unsat) => {}
+                        other => prop_assert!(
+                            false,
+                            "incremental {:?} vs scratch {:?} on `{}`",
+                            other.0,
+                            other.1,
+                            conj
+                        ),
+                    }
+                }
+            }
+        }
+        // Always end with one check so every generated sequence tests
+        // something even when no explicit check op was drawn.
+        if checks == 0 {
+            let conj = Pred::and(frames.iter().flatten().cloned().collect());
+            let want = SmtSolver::new().check_sat(&env, &conj);
+            let got = inc.check_incremental();
+            prop_assert_eq!(
+                std::mem::discriminant(&got),
+                std::mem::discriminant(&want),
+                "incremental {:?} vs scratch {:?} on `{}`",
+                got,
+                want,
+                conj
+            );
+        }
+        inc.end_incremental();
+    }
+
+    /// Session reuse: two different batches issued on the *same* solver
+    /// (second session, warm cache) still agree with scratch.
+    #[test]
+    fn repeated_batches_stay_correct(
+        a1 in arb_pred(),
+        a2 in arb_pred(),
+        consequents in prop::collection::vec(arb_pred(), 1..4),
+    ) {
+        let env = env();
+        let mut inc = SmtSolver::new();
+        let _ = inc.check_valid_many(&env, &a1, &consequents);
+        let got = inc.check_valid_many(&env, &a2, &consequents);
+        for (c, got) in consequents.iter().zip(&got) {
+            let mut scratch = SmtSolver::new();
+            let want = scratch.check_valid(&env, &a2, c);
+            prop_assert_eq!(
+                got,
+                &want,
+                "warm solver disagrees with scratch on `{}` under `{}`",
+                c,
+                a2
+            );
+        }
+    }
+}
+
+/// A fixed regression sequence covering the subtle pop interactions:
+/// lemma retention across pops and re-assertion of base facts encoded
+/// while a scope was open.
+#[test]
+fn pop_reassert_sequence_matches_scratch() {
+    let env = env();
+    let mut inc = SmtSolver::new();
+    inc.start_incremental(&env);
+    inc.assert_pred(&parse_pred("x < y").unwrap());
+    assert_eq!(inc.check_incremental(), SmtResult::Sat);
+    inc.push();
+    inc.assert_pred(&parse_pred("y < x").unwrap());
+    assert_eq!(inc.check_incremental(), SmtResult::Unsat);
+    inc.pop();
+    // The base fact must still be in force after the pop.
+    inc.push();
+    inc.assert_pred(&parse_pred("y <= x").unwrap());
+    assert_eq!(inc.check_incremental(), SmtResult::Unsat);
+    inc.pop();
+    // Set facts across a scope boundary: the ACI1 identity is refuted
+    // inside the scope (its saturation lemmas are retained) and the
+    // base conjunction is satisfiable again after the pop.
+    inc.assert_pred(&parse_pred("s = union(t, single(x))").unwrap());
+    inc.push();
+    inc.assert_pred(&parse_pred("not (s = union(single(x), t))").unwrap());
+    assert_eq!(inc.check_incremental(), SmtResult::Unsat);
+    inc.pop();
+    assert_eq!(inc.check_incremental(), SmtResult::Sat);
+    inc.end_incremental();
+
+    let mut batch = SmtSolver::new();
+    let ant = parse_pred("x < y && s = union(t, empty)").unwrap();
+    let cons: Vec<Pred> = ["s = t", "x <= y", "y <= x", "t = s"]
+        .iter()
+        .map(|s| parse_pred(s).unwrap())
+        .collect();
+    assert_eq!(
+        batch.check_valid_many(&env, &ant, &cons),
+        vec![
+            Validity::Valid,
+            Validity::Valid,
+            Validity::Invalid,
+            Validity::Valid
+        ]
+    );
+}

@@ -1,0 +1,330 @@
+//! Theory-solver oracles: the simplex and congruence-closure engines
+//! checked against brute-force reference implementations on randomly
+//! generated small instances, including through push/pop scopes.
+//!
+//! Case counts are deliberately small so `cargo test` stays fast; build
+//! with `--features slow-proptest` for a deeper local run.
+
+use dsolve_logic::Sort;
+use dsolve_smt::{Euf, EufResult, LpResult, Rat, Simplex, Term, TermArena, TermId};
+use proptest::prelude::*;
+
+#[cfg(feature = "slow-proptest")]
+const CASES: u32 = 256;
+#[cfg(not(feature = "slow-proptest"))]
+const CASES: u32 = 48;
+
+const NVARS: usize = 3;
+const BOUND: i64 = 4;
+
+/// One linear constraint `c·x REL d` with `REL ∈ {≤, ≥, =}`.
+type Constraint = (Vec<i64>, i64, u8);
+
+fn arb_constraint() -> impl Strategy<Value = Constraint> {
+    (
+        prop::collection::vec(-3i64..=3, NVARS),
+        -6i64..=6,
+        0u8..3,
+    )
+}
+
+fn eval(c: &Constraint, vals: &[i64; NVARS]) -> bool {
+    let s: i64 = c.0.iter().zip(vals).map(|(a, v)| a * v).sum();
+    match c.2 {
+        0 => s <= c.1,
+        1 => s >= c.1,
+        _ => s == c.1,
+    }
+}
+
+/// Exhaustive integer feasibility over the `[-BOUND, BOUND]^3` box.
+fn brute_feasible(cs: &[Constraint]) -> bool {
+    let r = -BOUND..=BOUND;
+    for x in r.clone() {
+        for y in r.clone() {
+            for z in r.clone() {
+                let vals = [x, y, z];
+                if cs.iter().all(|c| eval(c, &vals)) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Builds a boxed tableau over `NVARS` integer variables and asserts
+/// `cs` as slack-variable bounds. Returns `None` when an assertion hits
+/// an immediate conflict (which is itself an Unsat answer).
+fn assert_all(simplex: &mut Simplex, vars: &[usize], cs: &[Constraint]) -> bool {
+    for c in cs {
+        let combo: Vec<(usize, Rat)> = c
+            .0
+            .iter()
+            .zip(vars)
+            .filter(|(a, _)| **a != 0)
+            .map(|(a, v)| (*v, Rat::from_int(*a)))
+            .collect();
+        let d = Rat::from_int(c.1);
+        if combo.is_empty() {
+            // Constant constraint: 0 REL d.
+            let holds = match c.2 {
+                0 => 0 <= c.1,
+                1 => 0 >= c.1,
+                _ => c.1 == 0,
+            };
+            if !holds {
+                return false;
+            }
+            continue;
+        }
+        let s = simplex.add_row(&combo);
+        let ok = match c.2 {
+            0 => simplex.assert_upper(s, d),
+            1 => simplex.assert_lower(s, d),
+            _ => simplex.assert_lower(s, d) && simplex.assert_upper(s, d),
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+fn boxed_simplex() -> (Simplex, Vec<usize>) {
+    let mut simplex = Simplex::new();
+    let vars: Vec<usize> = (0..NVARS).map(|_| simplex.new_var(true)).collect();
+    for &v in &vars {
+        assert!(simplex.assert_lower(v, Rat::from_int(-BOUND)));
+        assert!(simplex.assert_upper(v, Rat::from_int(BOUND)));
+    }
+    (simplex, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// Integer branch-and-bound over a fully boxed system is complete:
+    /// its verdict must equal exhaustive enumeration.
+    #[test]
+    fn simplex_matches_brute_force(
+        cs in prop::collection::vec(arb_constraint(), 1..5),
+    ) {
+        let (mut simplex, vars) = boxed_simplex();
+        let expected = brute_feasible(&cs);
+        if !assert_all(&mut simplex, &vars, &cs) {
+            prop_assert!(!expected, "immediate conflict on feasible {cs:?}");
+        } else {
+            match simplex.check_int() {
+                LpResult::Sat => prop_assert!(expected, "Sat on infeasible {cs:?}"),
+                LpResult::Unsat => prop_assert!(!expected, "Unsat on feasible {cs:?}"),
+                LpResult::Unknown => prop_assert!(false, "budget exhausted on {cs:?}"),
+            }
+        }
+    }
+
+    /// Scoped constraints do not leak: asserting `extra` inside a scope
+    /// and popping must leave the base system's verdict unchanged.
+    #[test]
+    fn simplex_scopes_match_brute_force(
+        base in prop::collection::vec(arb_constraint(), 1..4),
+        extra in prop::collection::vec(arb_constraint(), 1..4),
+    ) {
+        let (mut simplex, vars) = boxed_simplex();
+        if !assert_all(&mut simplex, &vars, &base) {
+            prop_assert!(!brute_feasible(&base));
+        } else {
+            simplex.push();
+            let mut both: Vec<Constraint> = base.clone();
+            both.extend(extra.iter().cloned());
+            if assert_all(&mut simplex, &vars, &extra) {
+                let got = simplex.check_int();
+                let expected = brute_feasible(&both);
+                prop_assert_eq!(
+                    got,
+                    if expected { LpResult::Sat } else { LpResult::Unsat },
+                    "scoped verdict wrong for {:?}",
+                    both
+                );
+            }
+            simplex.pop();
+            let got = simplex.check_int();
+            let expected = brute_feasible(&base);
+            prop_assert_eq!(
+                got,
+                if expected { LpResult::Sat } else { LpResult::Unsat },
+                "popped verdict wrong for base {:?}",
+                base
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// EUF vs a naive fixpoint congruence closure.
+// ---------------------------------------------------------------------
+
+/// Builds the fixed term universe: four variables, two distinct
+/// constants, `f` applied to each variable, and `f(f(a))`.
+fn universe() -> (TermArena, Vec<TermId>) {
+    let mut arena = TermArena::new();
+    let mut terms = Vec::new();
+    let vars: Vec<TermId> = ["a", "b", "c", "d"]
+        .iter()
+        .map(|v| arena.intern(Term::Var(dsolve_logic::Symbol::new(v), Sort::Int), Sort::Int))
+        .collect();
+    terms.extend(vars.iter().copied());
+    terms.push(arena.intern(Term::Int(0), Sort::Int));
+    terms.push(arena.intern(Term::Int(1), Sort::Int));
+    let f = dsolve_logic::Symbol::new("f");
+    let apps: Vec<TermId> = vars
+        .iter()
+        .map(|&v| arena.intern(Term::App(f, vec![v]), Sort::Int))
+        .collect();
+    terms.extend(apps.iter().copied());
+    terms.push(arena.intern(Term::App(f, vec![apps[0]]), Sort::Int));
+    (arena, terms)
+}
+
+/// Reference congruence closure: repeated passes merging asserted
+/// equalities and congruent applications until fixpoint, then conflict
+/// detection on disequalities and distinct interpreted constants.
+fn naive_closure(
+    arena: &TermArena,
+    eqs: &[(TermId, TermId)],
+    nes: &[(TermId, TermId)],
+) -> EufResult {
+    let ids: Vec<TermId> = arena.ids().collect();
+    let n = ids.len();
+    let mut repr: Vec<usize> = (0..n).collect();
+    fn find(repr: &[usize], mut i: usize) -> usize {
+        while repr[i] != i {
+            i = repr[i];
+        }
+        i
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(a, b) in eqs {
+            let (ra, rb) = (find(&repr, a.index()), find(&repr, b.index()));
+            if ra != rb {
+                repr[ra.max(rb)] = ra.min(rb);
+                changed = true;
+            }
+        }
+        // Congruence: merge applications with the same head whose
+        // arguments are pairwise congruent.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (Term::App(fi, ai), Term::App(fj, aj)) =
+                    (arena.term(ids[i]), arena.term(ids[j]))
+                else {
+                    continue;
+                };
+                if fi != fj || ai.len() != aj.len() {
+                    continue;
+                }
+                let congruent = ai
+                    .iter()
+                    .zip(aj)
+                    .all(|(x, y)| find(&repr, x.index()) == find(&repr, y.index()));
+                let (ri, rj) = (find(&repr, i), find(&repr, j));
+                if congruent && ri != rj {
+                    repr[ri.max(rj)] = ri.min(rj);
+                    changed = true;
+                }
+            }
+        }
+    }
+    for &(a, b) in nes {
+        if find(&repr, a.index()) == find(&repr, b.index()) {
+            return EufResult::Unsat;
+        }
+    }
+    // Two distinct interpreted constants in one class is a conflict.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (Term::Int(x), Term::Int(y)) = (arena.term(ids[i]), arena.term(ids[j]))
+            else {
+                continue;
+            };
+            if x != y && find(&repr, i) == find(&repr, j) {
+                return EufResult::Unsat;
+            }
+        }
+    }
+    EufResult::Sat
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// Congruence closure agrees with the naive fixpoint closure on
+    /// random (dis)equality sets over the fixed universe.
+    #[test]
+    fn euf_matches_naive_closure(
+        eq_picks in prop::collection::vec((0usize..11, 0usize..11), 0..6),
+        ne_picks in prop::collection::vec((0usize..11, 0usize..11), 0..4),
+    ) {
+        let (arena, terms) = universe();
+        let eqs: Vec<(TermId, TermId)> =
+            eq_picks.iter().map(|&(i, j)| (terms[i], terms[j])).collect();
+        // A term is never disequal to itself by construction choice:
+        // skip reflexive picks (they would make every run trivially
+        // Unsat).
+        let nes: Vec<(TermId, TermId)> = ne_picks
+            .iter()
+            .filter(|&&(i, j)| i != j)
+            .map(|&(i, j)| (terms[i], terms[j]))
+            .collect();
+        let mut euf = Euf::new(&arena);
+        for &(a, b) in &eqs {
+            euf.assert_eq(a, b);
+        }
+        for &(a, b) in &nes {
+            euf.assert_ne(a, b);
+        }
+        let got = euf.check(&arena);
+        let want = naive_closure(&arena, &eqs, &nes);
+        prop_assert_eq!(got, want, "eqs {:?} nes {:?}", eqs, nes);
+    }
+
+    /// Scoped equalities roll back: check-pop-check agrees with the
+    /// naive closure of the base assertions alone.
+    #[test]
+    fn euf_scopes_match_naive_closure(
+        base_eqs in prop::collection::vec((0usize..11, 0usize..11), 0..4),
+        base_nes in prop::collection::vec((0usize..11, 0usize..11), 0..3),
+        scoped_eqs in prop::collection::vec((0usize..11, 0usize..11), 1..4),
+    ) {
+        let (arena, terms) = universe();
+        let eqs: Vec<(TermId, TermId)> =
+            base_eqs.iter().map(|&(i, j)| (terms[i], terms[j])).collect();
+        let nes: Vec<(TermId, TermId)> = base_nes
+            .iter()
+            .filter(|&&(i, j)| i != j)
+            .map(|&(i, j)| (terms[i], terms[j]))
+            .collect();
+        let extra: Vec<(TermId, TermId)> =
+            scoped_eqs.iter().map(|&(i, j)| (terms[i], terms[j])).collect();
+        let mut euf = Euf::new(&arena);
+        for &(a, b) in &eqs {
+            euf.assert_eq(a, b);
+        }
+        for &(a, b) in &nes {
+            euf.assert_ne(a, b);
+        }
+        let base_verdict = euf.check(&arena);
+        prop_assert_eq!(&base_verdict, &naive_closure(&arena, &eqs, &nes));
+        euf.push();
+        let mut all = eqs.clone();
+        all.extend(extra.iter().copied());
+        for &(a, b) in &extra {
+            euf.assert_eq(a, b);
+        }
+        prop_assert_eq!(euf.check(&arena), naive_closure(&arena, &all, &nes));
+        euf.pop();
+        prop_assert_eq!(euf.check(&arena), base_verdict, "verdict changed after pop");
+    }
+}

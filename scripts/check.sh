@@ -11,6 +11,12 @@ cargo build --release --workspace
 echo "== cargo test --workspace -q"
 cargo test --workspace -q
 
+# The incremental-vs-scratch differential suites also run above as part
+# of the workspace tests; rerun them by name so a failure is unmissable.
+# (Use --features slow-proptest for a deeper local soak.)
+echo "== cargo test -p dsolve-smt --test incremental_vs_scratch --test theory_oracles"
+cargo test -p dsolve-smt --test incremental_vs_scratch --test theory_oracles
+
 echo "== cargo build --release -p dsolve-bench --features bench --benches"
 cargo build --release -p dsolve-bench --features bench --benches
 
