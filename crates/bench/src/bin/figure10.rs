@@ -17,6 +17,7 @@
 
 use dsolve::{JobError, Row, Status, Table};
 use dsolve_bench::{load, BENCHMARKS};
+use dsolve_obs::{Obs, Snapshot};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -31,6 +32,11 @@ struct JsonRow {
     smt_sessions: u64,
     smt_scoped_checks: u64,
     jobs: usize,
+    /// Observability roll-up: counters, phase/theory nanoseconds, the
+    /// query-latency histogram, and top expensive constraints. Present
+    /// on every row — an UNKNOWN or panicked run reports whatever it
+    /// recorded before stopping.
+    metrics: Snapshot,
 }
 
 fn main() {
@@ -84,6 +90,9 @@ fn main() {
                 if let Some(n) = jobs {
                     j.config.jobs = n;
                 }
+                // Fresh registry per benchmark so each row's metrics
+                // cover exactly one job.
+                j.config.obs = Obs::new();
                 j
             }
             Err(e) => {
@@ -92,6 +101,7 @@ fn main() {
                 continue;
             }
         };
+        let obs = job.config.obs.clone();
         match job.run_isolated() {
             Err(e) => {
                 // One bad job (front-end error or isolated panic) must
@@ -108,6 +118,7 @@ fn main() {
                     smt_sessions: 0,
                     smt_scoped_checks: 0,
                     jobs: jobs.unwrap_or(0),
+                    metrics: obs.snapshot(5),
                 });
             }
             Ok(res) => {
@@ -148,6 +159,7 @@ fn main() {
                     smt_sessions: s.smt_sessions,
                     smt_scoped_checks: s.smt_scoped_checks,
                     jobs: s.jobs,
+                    metrics: res.metrics.clone(),
                 });
                 table.push(Row::from_result(
                     format!(
@@ -174,8 +186,9 @@ fn main() {
     }
 }
 
-/// Renders the records as a JSON array (hand-rolled: every field is a
-/// number or a known-shape string, so no escaping machinery is needed).
+/// Renders the records as a JSON array (hand-rolled: the scalar fields
+/// are numbers or known-shape strings, and [`Snapshot::to_json`] escapes
+/// the provenance labels it embeds).
 fn render_json(records: &[JsonRow]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
@@ -185,10 +198,11 @@ fn render_json(records: &[JsonRow]) -> String {
         let outcome = r.outcome.split([':', ' ']).next().unwrap_or("UNKNOWN");
         let _ = writeln!(
             out,
-            "  {{\"name\": \"{}\", \"outcome\": \"{}\", \"wall_s\": {:.3}, \"smt_queries\": {}, \"cache_hits\": {}, \"cache_lookups\": {}, \"smt_sessions\": {}, \"smt_scoped_checks\": {}, \"jobs\": {}}}{}",
+            "  {{\"name\": \"{}\", \"outcome\": \"{}\", \"wall_s\": {:.3}, \"smt_queries\": {}, \"cache_hits\": {}, \"cache_lookups\": {}, \"smt_sessions\": {}, \"smt_scoped_checks\": {}, \"jobs\": {},",
             r.name, outcome, r.wall_s, r.smt_queries, r.cache_hits, r.cache_lookups,
-            r.smt_sessions, r.smt_scoped_checks, r.jobs, sep
+            r.smt_sessions, r.smt_scoped_checks, r.jobs
         );
+        let _ = writeln!(out, "   \"metrics\": {}}}{}", r.metrics.to_json(3), sep);
     }
     out.push_str("]\n");
     out

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! dsolve <module.ml> [--quals <file>] [--mlq <file>] [--annot]
-//!        [--annot-out <file>] [--stats]
+//!        [--annot-out <file>] [--stats] [--trace-out <file>] [--quiet]
 //!        [--timeout <secs>] [--max-smt-queries <n>] [--jobs <n>]
 //! ```
 //!
@@ -12,17 +12,25 @@
 //! `--jobs` sets the fixpoint worker count (default: one per available
 //! CPU; `--jobs 1` selects the sequential solver).
 //!
+//! `--trace-out` writes a Chrome `trace_event` JSON file (open it in
+//! `chrome://tracing` or Perfetto) with spans for every pipeline phase,
+//! fixpoint round, and individual SMT query named by the NanoML source
+//! location it discharges. `--quiet` silences progress and warning
+//! output (errors still print); the `DSOLVE_LOG` environment variable
+//! (`error|warn|info|debug`) picks a level explicitly.
+//!
 //! By default `<module>.quals` and `<module>.mlq` next to the module are
 //! used when present. Exit status: 0 = safe, 1 = unsafe, 2 = unknown
 //! (budget exhausted or isolated panic), 3 = front-end/spec errors or
 //! bad usage.
 
 use dsolve::{Job, JobError};
+use dsolve_obs::{log_error, Obs};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: dsolve <module.ml> [--quals <file>] [--mlq <file>] [--annot] [--annot-out <file>] [--stats] [--timeout <secs>] [--max-smt-queries <n>] [--jobs <n>]"
+    log_error!(
+        "usage: dsolve <module.ml> [--quals <file>] [--mlq <file>] [--annot] [--annot-out <file>] [--stats] [--trace-out <file>] [--quiet] [--timeout <secs>] [--max-smt-queries <n>] [--jobs <n>]"
     );
     ExitCode::from(3)
 }
@@ -35,6 +43,8 @@ fn main() -> ExitCode {
     let mut annot = false;
     let mut annot_out: Option<String> = None;
     let mut stats = false;
+    let mut trace_out: Option<String> = None;
+    let mut quiet = false;
     let mut timeout: Option<u64> = None;
     let mut max_smt_queries: Option<u64> = None;
     let mut jobs: Option<usize> = None;
@@ -55,6 +65,11 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--stats" => stats = true,
+            "--trace-out" => match it.next() {
+                Some(f) => trace_out = Some(f.clone()),
+                None => return usage(),
+            },
+            "--quiet" => quiet = true,
             "--timeout" => match it.next().and_then(|s| s.parse::<u64>().ok()) {
                 Some(secs) => timeout = Some(secs),
                 None => return usage(),
@@ -76,11 +91,14 @@ fn main() -> ExitCode {
         }
     }
     let Some(ml) = ml else { return usage() };
+    if quiet {
+        dsolve_obs::log::set_level(dsolve_obs::log::Level::Error);
+    }
 
     let mut job = match Job::from_path(&ml) {
         Ok(j) => j,
         Err(e) => {
-            eprintln!("dsolve: {e}");
+            log_error!("dsolve: {e}");
             return ExitCode::from(3);
         }
     };
@@ -88,7 +106,7 @@ fn main() -> ExitCode {
         match std::fs::read_to_string(&q) {
             Ok(s) => job.quals = s,
             Err(e) => {
-                eprintln!("dsolve: cannot read `{q}`: {e}");
+                log_error!("dsolve: cannot read `{q}`: {e}");
                 return ExitCode::from(3);
             }
         }
@@ -97,7 +115,7 @@ fn main() -> ExitCode {
         match std::fs::read_to_string(&s) {
             Ok(text) => job.mlq = text,
             Err(e) => {
-                eprintln!("dsolve: cannot read `{s}`: {e}");
+                log_error!("dsolve: cannot read `{s}`: {e}");
                 return ExitCode::from(3);
             }
         }
@@ -111,15 +129,30 @@ fn main() -> ExitCode {
     if let Some(n) = jobs {
         job.config.jobs = n;
     }
+    let obs = match &trace_out {
+        Some(path) => match Obs::with_trace(std::path::Path::new(path)) {
+            Ok(o) => o,
+            Err(e) => {
+                log_error!("dsolve: cannot open trace file `{path}`: {e}");
+                return ExitCode::from(3);
+            }
+        },
+        None => Obs::new(),
+    };
+    job.config.obs = obs.clone();
 
-    match job.run_isolated() {
+    let outcome = job.run_isolated();
+    // Flush the trace before reporting: every span guard is dropped by
+    // now (run_isolated catches panics), so the event list is complete.
+    obs.finish();
+    match outcome {
         Err(e @ JobError::Panic(_)) => {
             // An isolated panic is an Unknown verdict, not a crash.
             println!("{}: {}", job.name, e.outcome());
             ExitCode::from(2)
         }
         Err(e) => {
-            eprintln!("dsolve: {e}");
+            log_error!("dsolve: {e}");
             ExitCode::from(3)
         }
         Ok(res) => {
@@ -135,7 +168,7 @@ fn main() -> ExitCode {
                 }
                 if let Some(path) = &annot_out {
                     if let Err(e) = std::fs::write(path, rendered) {
-                        eprintln!("dsolve: cannot write `{path}`: {e}");
+                        log_error!("dsolve: cannot write `{path}`: {e}");
                     }
                 }
             }
@@ -173,6 +206,18 @@ fn main() -> ExitCode {
                     "smt_sessions={} scoped_checks={} asserts_per_session={reuse:.1}",
                     s.smt_sessions, s.smt_scoped_checks
                 );
+                if !res.metrics.top_constraints.is_empty() {
+                    eprintln!("top constraints by SMT time:");
+                    for c in &res.metrics.top_constraints {
+                        eprintln!(
+                            "  {:>8.3}ms {:>5} queries  c{} [{}]",
+                            c.total_ns as f64 / 1e6,
+                            c.queries,
+                            c.constraint,
+                            c.label
+                        );
+                    }
+                }
             }
             use dsolve_logic::Outcome;
             println!("{}: {}", job.name, res.outcome());

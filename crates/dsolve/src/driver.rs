@@ -5,6 +5,7 @@
 use crate::spec::{parse_mlq, parse_quals, SpecError, SpecFile};
 use dsolve_liquid::{builtin_schemes, MeasureEnv, SolveConfig, Verifier, VerifyResult};
 use dsolve_logic::{Exhaustion, Outcome, Phase, Qualifier, Resource, SortEnv};
+use dsolve_obs::ObsPhase;
 use dsolve_nanoml::{infer_program, parse_program, resolve_program, DataEnv};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -40,6 +41,10 @@ pub struct JobResult {
     pub annotations: usize,
     /// Number of measures in the specification.
     pub measures: usize,
+    /// Observability snapshot for this job: counters, phase/theory time,
+    /// query-latency histogram, and the top expensive constraints (taken
+    /// from the job's [`SolveConfig::obs`] registry after verification).
+    pub metrics: dsolve_obs::Snapshot,
 }
 
 impl JobResult {
@@ -162,14 +167,23 @@ impl Job {
     /// specs). Verification *failures* are reported in the result, not as
     /// errors.
     pub fn run(&self) -> Result<JobResult, JobError> {
+        let obs = self.config.obs.clone();
         let frontend_start = Instant::now();
-        let prog = parse_program(&self.source).map_err(|e| JobError::Frontend(e.to_string()))?;
-        let mut data = DataEnv::with_builtins();
-        data.add_program(&prog.datatypes)
-            .map_err(|e| JobError::Frontend(e.to_string()))?;
-        let prog =
-            resolve_program(&prog, &data).map_err(|e| JobError::Frontend(e.to_string()))?;
+        let prog = {
+            let _span = obs.phase_span(ObsPhase::Parse);
+            parse_program(&self.source).map_err(|e| JobError::Frontend(e.to_string()))?
+        };
+        let (prog, data) = {
+            let _span = obs.phase_span(ObsPhase::Resolve);
+            let mut data = DataEnv::with_builtins();
+            data.add_program(&prog.datatypes)
+                .map_err(|e| JobError::Frontend(e.to_string()))?;
+            let prog =
+                resolve_program(&prog, &data).map_err(|e| JobError::Frontend(e.to_string()))?;
+            (prog, data)
+        };
 
+        let spec_span = obs.phase_span(ObsPhase::Spec);
         let spec_file: SpecFile = parse_mlq(&self.mlq, &data)?;
         let mut quals: Vec<Qualifier> = parse_quals(&self.quals)?;
         let annotations = quals.len() + spec_file.qualifiers.len();
@@ -183,10 +197,14 @@ impl Job {
                 .add(m.clone(), &data, &SortEnv::new())
                 .map_err(|e| JobError::Frontend(e.to_string()))?;
         }
+        drop(spec_span);
 
         let (ml_builtins, _) = builtin_schemes();
-        let mut typed = infer_program(&prog, &data, &ml_builtins)
-            .map_err(|e| JobError::Frontend(e.to_string()))?;
+        let mut typed = {
+            let _span = obs.phase_span(ObsPhase::Infer);
+            infer_program(&prog, &data, &ml_builtins)
+                .map_err(|e| JobError::Frontend(e.to_string()))?
+        };
 
         // Specifications act as the module interface: a binding whose
         // inferred ML scheme is *more general* than its spec (e.g. a
@@ -259,6 +277,7 @@ impl Job {
             loc: self.loc(),
             annotations,
             measures: spec_file.measures.len(),
+            metrics: obs.snapshot(5),
         })
     }
 

@@ -161,6 +161,104 @@ fn non_numeric_timeout_is_bad_usage() {
 }
 
 #[test]
+fn trace_out_writes_valid_chrome_trace() {
+    let dir = tempdir("traceout");
+    write_temp(
+        &dir,
+        "m.ml",
+        "let f x = assert (x >= 0); x\nlet use = f 1\n",
+    );
+    write_temp(&dir, "m.quals", "qualif N : 0 <= VV\n");
+    let trace = dir.join("m.trace.json");
+    let out = dsolve()
+        .arg(dir.join("m.ml"))
+        .arg("--trace-out")
+        .arg(&trace)
+        .arg("--jobs")
+        .arg("1")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let summary = dsolve_obs::trace::validate_trace_file(&trace).unwrap();
+    for phase in ["parse", "resolve", "infer", "constraint_gen", "fixpoint", "obligations"] {
+        assert!(summary.has_span(phase), "missing `{phase}` in {:?}", summary.names);
+    }
+    assert!(summary.has_span_prefix("round "), "{:?}", summary.names);
+    assert!(
+        summary.has_span_prefix("assert on line"),
+        "queries must be named by provenance: {:?}",
+        summary.names
+    );
+}
+
+#[test]
+fn trace_out_survives_forced_panic() {
+    let dir = tempdir("tracepanic");
+    write_temp(&dir, "m.ml", "let one = 1\n");
+    let trace = dir.join("m.trace.json");
+    let out = dsolve()
+        .arg(dir.join("m.ml"))
+        .arg("--trace-out")
+        .arg(&trace)
+        .env("DSOLVE_FORCE_PANIC", "*")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // The array is closed after the isolated panic: still valid JSON.
+    dsolve_obs::trace::validate_trace_file(&trace).unwrap();
+}
+
+#[test]
+fn quiet_silences_progress_output() {
+    let dir = tempdir("quiet");
+    write_temp(&dir, "m.ml", "let one = assert (1 > 0)\n");
+    let noisy = dsolve()
+        .arg(dir.join("m.ml"))
+        .env("DSOLVE_PROGRESS", "1")
+        .output()
+        .unwrap();
+    let noisy_err = String::from_utf8_lossy(&noisy.stderr);
+    assert!(noisy_err.contains("solve:"), "{noisy_err}");
+    let quiet = dsolve()
+        .arg(dir.join("m.ml"))
+        .arg("--quiet")
+        .env("DSOLVE_PROGRESS", "1")
+        .output()
+        .unwrap();
+    let quiet_err = String::from_utf8_lossy(&quiet.stderr);
+    assert!(
+        !quiet_err.contains("solve:"),
+        "--quiet must suppress progress: {quiet_err}"
+    );
+    assert!(quiet.status.success());
+}
+
+#[test]
+fn stats_report_top_constraints_with_provenance() {
+    let dir = tempdir("topstats");
+    write_temp(
+        &dir,
+        "m.ml",
+        "let f x = assert (x >= 0); x\nlet use = f 1\n",
+    );
+    write_temp(&dir, "m.quals", "qualif N : 0 <= VV\n");
+    let out = dsolve()
+        .arg(dir.join("m.ml"))
+        .arg("--stats")
+        .arg("--jobs")
+        .arg("1")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("top constraints by SMT time:"), "{stderr}");
+    assert!(
+        stderr.contains("assert on line"),
+        "top constraints must carry NanoML source provenance: {stderr}"
+    );
+}
+
+#[test]
 fn annot_out_writes_file() {
     let dir = tempdir("annotout");
     write_temp(

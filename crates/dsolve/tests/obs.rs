@@ -1,0 +1,189 @@
+//! Observability integration tests: accounting invariants between the
+//! metrics registry and `SolveStats`, determinism of per-constraint
+//! query attribution, and trace well-formedness on abnormal runs.
+
+use dsolve::Job;
+use dsolve_obs::trace::validate_trace_file;
+use dsolve_obs::Obs;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A module that exercises the full pipeline: recursion, lists, an
+/// assertion obligation, and enough qualifiers to force real weakening.
+const SOURCE: &str = r#"
+let rec range i j = if i > j then [] else i :: range (i + 1) j
+let rec fold_left f acc xs =
+  match xs with
+  | [] -> acc
+  | x :: rest -> fold_left f (f acc x) rest
+let harmonic n =
+  let ds = range 1 n in
+  fold_left (fun s k -> s + 10000 / k) 0 ds
+"#;
+
+const QUALS: &str = "qualif Pos : 0 < VV\nqualif Ub : _ <= VV\n";
+
+fn job(jobs: usize) -> Job {
+    let mut j = Job::from_sources("obs-test", SOURCE, "", QUALS);
+    j.config.jobs = jobs;
+    j.config.obs = Obs::new();
+    j
+}
+
+/// The invariants every run must satisfy, regardless of worker count:
+/// checks split exactly into hits and misses, misses split exactly into
+/// solved and refused queries, and the latency histogram saw exactly one
+/// sample per solved query.
+fn assert_invariants(snap: &dsolve_obs::Snapshot) {
+    assert_eq!(
+        snap.checks,
+        snap.cache_hits + snap.cache_misses,
+        "checks must equal hits + misses"
+    );
+    assert_eq!(
+        snap.cache_misses,
+        snap.queries + snap.refused,
+        "misses must equal solved + refused queries"
+    );
+    assert_eq!(
+        snap.query_time_count, snap.queries,
+        "histogram samples must equal solved queries"
+    );
+    assert_eq!(
+        snap.query_time_buckets.iter().sum::<u64>(),
+        snap.queries,
+        "histogram bucket totals must equal solved queries"
+    );
+}
+
+#[test]
+fn accounting_consistent_sequential() {
+    let j = job(1);
+    let obs = j.config.obs.clone();
+    let res = j.run().unwrap();
+    assert!(res.is_safe());
+
+    let snap = obs.snapshot(5);
+    assert_invariants(&snap);
+    assert!(snap.queries > 0, "the module must exercise the solver");
+
+    // The registry is the single source of truth: SolveStats agrees with
+    // it, and the per-worker counts sum to the shared total.
+    let s = &res.result.stats;
+    assert_eq!(s.smt_queries, snap.queries);
+    assert_eq!(s.cache_hits, snap.cache_hits);
+    assert_eq!(s.cache_lookups, snap.checks);
+    assert_eq!(s.smt_sessions, snap.sessions);
+    assert_eq!(s.smt_scoped_checks, snap.scoped_checks);
+    assert_eq!(s.worker_queries.iter().sum::<u64>(), s.smt_queries);
+
+    // The JobResult snapshot is taken from the same registry.
+    assert_eq!(res.metrics.queries, snap.queries);
+
+    // Cost attribution covers every solved query.
+    let (_, attributed) = obs.costs().totals();
+    assert_eq!(attributed, snap.queries);
+}
+
+#[test]
+fn accounting_consistent_across_workers() {
+    let j = job(4);
+    let obs = j.config.obs.clone();
+    let res = j.run().unwrap();
+    assert!(res.is_safe());
+
+    let snap = obs.snapshot(5);
+    assert_invariants(&snap);
+    let s = &res.result.stats;
+    assert_eq!(
+        s.worker_queries.iter().sum::<u64>(),
+        s.smt_queries,
+        "per-worker counts must sum to the shared total"
+    );
+    assert_eq!(s.smt_queries, snap.queries);
+    assert_eq!(s.cache_hits, snap.cache_hits);
+    assert_eq!(s.cache_lookups, snap.checks);
+}
+
+#[test]
+fn per_constraint_query_counts_deterministic() {
+    let counts = |top: Vec<dsolve_obs::ConstraintCost>| -> HashMap<u32, u64> {
+        top.into_iter().map(|c| (c.constraint, c.queries)).collect()
+    };
+    let run = || {
+        let j = job(1);
+        let obs = j.config.obs.clone();
+        j.run().unwrap();
+        counts(obs.costs().top(usize::MAX))
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "sequential query attribution must be deterministic");
+}
+
+#[test]
+fn trace_valid_after_budget_exhaustion() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("dsolve-obs-deadline-{}.json", std::process::id()));
+    let mut j = job(1);
+    j.config.budget = dsolve_logic::Budget::with_timeout(Duration::from_secs(0));
+    j.config.obs = Obs::with_trace(&path).unwrap();
+    let obs = j.config.obs.clone();
+    let res = j.run().unwrap();
+    assert!(res.outcome().exhaustion().is_some());
+    obs.finish();
+    let summary = validate_trace_file(&path).unwrap();
+    // Every span guard was dropped on the early exit, so complete events
+    // for the phases that ran are present and well-formed.
+    assert!(summary.has_span("parse"), "{:?}", summary.names);
+    assert!(summary.has_span("fixpoint"), "{:?}", summary.names);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn trace_valid_after_isolated_panic() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("dsolve-obs-panic-{}.json", std::process::id()));
+    let mut j = job(1);
+    j.name = "obs-panic-job".into();
+    j.config.obs = Obs::with_trace(&path).unwrap();
+    let obs = j.config.obs.clone();
+    // The hook matches on the job name, so concurrent tests keep running
+    // normally.
+    std::env::set_var("DSOLVE_FORCE_PANIC", "obs-panic-job");
+    let r = j.run_isolated();
+    std::env::remove_var("DSOLVE_FORCE_PANIC");
+    assert!(matches!(r, Err(dsolve::JobError::Panic(_))));
+    obs.finish();
+    // The trace must still parse: finish() closes the array even though
+    // the run died.
+    validate_trace_file(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn trace_names_queries_by_source_location() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("dsolve-obs-origin-{}.json", std::process::id()));
+    let mut j = Job::from_sources(
+        "obs-origin",
+        "let f x = assert (x >= 0); x\nlet use = f 1\n",
+        "",
+        "qualif N : 0 <= VV\n",
+    );
+    j.config.jobs = 1;
+    j.config.obs = Obs::with_trace(&path).unwrap();
+    let obs = j.config.obs.clone();
+    let res = j.run().unwrap();
+    assert!(res.is_safe());
+    obs.finish();
+    let summary = validate_trace_file(&path).unwrap();
+    assert!(
+        summary.has_span_prefix("assert on line"),
+        "expected a query span named after the assert, got {:?}",
+        summary.names
+    );
+    assert!(summary.has_span_prefix("round "), "{:?}", summary.names);
+    let _ = std::fs::remove_file(&path);
+}

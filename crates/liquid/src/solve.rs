@@ -31,6 +31,7 @@ use dsolve_logic::{
     deadline_expired, instantiate_all, Budget, Exhaustion, Outcome, Phase, Pred, Qualifier,
     Resource, Symbol,
 };
+use dsolve_obs::{log_debug, log_info, Obs, ObsPhase, QueryOrigin};
 use dsolve_smt::{QueryCache, SmtSolver, SolverConfig, Validity};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::AtomicU64;
@@ -44,7 +45,11 @@ pub struct SolveStats {
     pub kvars: usize,
     /// Total initial qualifier instantiations.
     pub initial_quals: usize,
-    /// Implication queries sent to the SMT solver.
+    /// SMT queries actually *solved* during this run (each charged one
+    /// unit against `--max-smt-queries`). Sourced from the metrics
+    /// registry — the single accounting authority — so cache hits are
+    /// excluded and the total always equals the sum of
+    /// `worker_queries`.
     pub smt_queries: u64,
     /// Fixpoint iterations (constraint re-checks).
     pub iterations: u64,
@@ -62,9 +67,11 @@ pub struct SolveStats {
     pub worker_queries: Vec<u64>,
     /// Constraint checks per worker (aggregate partition sizes).
     pub worker_checks: Vec<u64>,
-    /// Validity-cache hits across all workers.
+    /// Validity checks answered from the query cache, across all
+    /// workers (from the metrics registry).
     pub cache_hits: u64,
-    /// Validity-cache lookups across all workers.
+    /// Validity checks requested of the SMT layer across all workers
+    /// (from the metrics registry): `cache_hits + cache_misses`.
     pub cache_lookups: u64,
     /// Incremental SMT sessions opened across all workers (0 when
     /// incremental solving is disabled).
@@ -136,6 +143,11 @@ pub struct SolveConfig {
     /// implication goes through the scratch `check_valid` path. The
     /// `DSOLVE_NO_INCREMENTAL` environment variable forces this too.
     pub no_incremental: bool,
+    /// Observability handle: the metrics registry every SMT query and
+    /// fixpoint event records into, plus the optional trace sink.
+    /// Cloning the config shares the handle (it is an `Arc`), so one
+    /// registry spans all phases of a verification job.
+    pub obs: Obs,
 }
 
 /// Whether this run batches implications through incremental SMT
@@ -212,13 +224,15 @@ impl View<'_> {
 
 /// Checks one constraint, weakening the κs on its right side. Returns
 /// `(κ, survivors)` for every κ whose candidate set shrank.
+///
+/// Query accounting happens inside the SMT solver (metrics registry +
+/// per-solver `solved_queries`); this function no longer counts.
 fn weaken_constraint(
     genv: &GlobalEnv,
     c: &SubC,
     view: &View<'_>,
     smt: &mut SmtSolver,
     incremental: bool,
-    stats: &mut SolveStats,
 ) -> Vec<(KVar, Vec<Pred>)> {
     let lookup = |k: KVar| view.pred_of(k);
     let (mut sorts, antecedent) = c.env.embed(genv, &lookup);
@@ -271,28 +285,12 @@ fn weaken_constraint(
             }
         }
         if incremental {
-            check_group_batched(
-                smt,
-                &sorts,
-                &lhs_full,
-                Some(&lhs_unpruned),
-                &to_check,
-                &mut kept,
-                stats,
-            );
+            check_group_batched(smt, &sorts, &lhs_full, Some(&lhs_unpruned), &to_check, &mut kept);
         } else {
-            check_group(
-                smt,
-                &sorts,
-                &lhs_full,
-                Some(&lhs_unpruned),
-                &to_check,
-                &mut kept,
-                stats,
-            );
+            check_group(smt, &sorts, &lhs_full, Some(&lhs_unpruned), &to_check, &mut kept);
         }
         if kept.len() < prev_len {
-            if std::env::var_os("DSOLVE_TRACE").is_some() {
+            if dsolve_obs::log::enabled(dsolve_obs::log::Level::Debug) {
                 let removed: Vec<String> = view
                     .get(*k)
                     .iter()
@@ -305,7 +303,7 @@ fn weaken_constraint(
                     .iter()
                     .map(|lk| format!("{lk}={}", view.pred_of(*lk)))
                     .collect();
-                eprintln!(
+                log_debug!(
                     "weaken {k} at [{}]: drop {removed:?}\n    lhs: {lhs_full}\n    raw-lhs: {} raw-rhs: {}\n    lhs-assignment: {lhs_state:?}",
                     c.origin, c.lhs, c.rhs
                 );
@@ -324,7 +322,6 @@ fn check_obligations(
     assignment: &HashMap<KVar, Vec<Pred>>,
     smt: &mut SmtSolver,
     incremental: bool,
-    stats: &mut SolveStats,
 ) -> (Vec<LiquidError>, Option<Exhaustion>) {
     let mut errors = Vec::new();
     let mut exhaustion: Option<Exhaustion> = None;
@@ -352,7 +349,6 @@ fn check_obligations(
             .map(|(rhs, _)| rhs.clone())
             .collect();
         if rhss.len() > 1 {
-            stats.smt_queries += rhss.len() as u64;
             Some(smt.check_valid_many(&sorts, &lhs_full, &rhss).into_iter())
         } else {
             None
@@ -370,10 +366,7 @@ fn check_obligations(
         }
         let verdict = match batched.as_mut().and_then(Iterator::next) {
             Some(v) => v,
-            None => {
-                stats.smt_queries += 1;
-                smt.check_valid(&sorts, &lhs_full, &rhs)
-            }
+            None => smt.check_valid(&sorts, &lhs_full, &rhs),
         };
         match verdict {
             Validity::Valid => continue,
@@ -390,7 +383,7 @@ fn check_obligations(
             Validity::Invalid => {}
         }
         {
-            let msg = if std::env::var_os("DSOLVE_DEBUG").is_some() {
+            let msg = if dsolve_obs::log::enabled(dsolve_obs::log::Level::Debug) {
                 let ks: Vec<String> = c
                     .lhs
                     .kvars()
@@ -429,6 +422,8 @@ fn solve_sequential(
 ) -> Solution {
     let budget = config.budget;
     let deadline = budget.deadline_from_now();
+    let obs = config.obs.clone();
+    let base = MetricsBaseline::capture(&obs);
     let mut smt = SmtSolver::with_config(SolverConfig {
         budget,
         ..config.smt
@@ -436,6 +431,7 @@ fn solve_sequential(
     // Pin the absolute deadline so the SMT clock does not restart at the
     // first query.
     smt.set_deadline(deadline);
+    smt.set_obs(obs.clone());
     let incremental = use_incremental(config);
     let mut exhaustion: Option<Exhaustion> = None;
     let fixpoint_start = Instant::now();
@@ -443,15 +439,14 @@ fn solve_sequential(
         jobs: 1,
         ..SolveStats::default()
     };
-    let progress = std::env::var_os("DSOLVE_PROGRESS").is_some();
-    if progress {
-        eprintln!("solve: {} constraints, {} kvars", subs.len(), kenv.len());
-    }
+    log_info!("solve: {} constraints, {} kvars", subs.len(), kenv.len());
 
     let mut assignment = initial_assignment(kenv, quals, &mut stats);
-    if progress {
-        eprintln!("solve: initial quals = {}", stats.initial_quals);
-    }
+    log_info!("solve: initial quals = {}", stats.initial_quals);
+
+    // Provenance labels, one per constraint (shared with the SMT layer
+    // via `Arc`, formatted once).
+    let labels = constraint_labels(subs, &obs);
 
     // Dependency index: κ → constraints that *read* it.
     let mut readers: HashMap<KVar, Vec<usize>> = HashMap::new();
@@ -470,50 +465,82 @@ fn solve_sequential(
         .collect();
     let mut queued: HashSet<usize> = queue.iter().copied().collect();
 
-    while let Some(ci) = queue.pop_front() {
-        queued.remove(&ci);
-        stats.iterations += 1;
-        if progress && stats.iterations.is_multiple_of(50) {
-            eprintln!(
-                "fixpoint: iter={} queue={} smt={} at [{}]",
-                stats.iterations,
-                queue.len(),
-                stats.smt_queries,
-                subs[ci].origin
-            );
-        }
-        if stats.iterations > budget.max_fixpoint_iterations {
-            // The worklist is not drained: the assignment may still be
-            // too strong, so nothing downstream can be trusted as Safe.
-            exhaustion = Some(Exhaustion::with_detail(
-                Phase::Fixpoint,
-                Resource::FixpointIterations,
-                format!("cap {}", budget.max_fixpoint_iterations),
-            ));
-            break;
-        }
-        if deadline_expired(deadline) {
-            exhaustion = Some(Exhaustion::new(Phase::Fixpoint, Resource::Deadline));
-            break;
-        }
-        let view = View {
-            base: &assignment,
-            local: None,
-        };
-        let weakened =
-            weaken_constraint(genv, &subs[ci], &view, &mut smt, incremental, &mut stats);
-        for (k, kept) in weakened {
-            assignment.insert(k, kept);
-            for &r in readers.get(&k).map(Vec::as_slice).unwrap_or(&[]) {
-                if !subs[r].writes().is_empty() && queued.insert(r) {
-                    queue.push_back(r);
+    // The sequential worklist has no barriers, but a BFS level structure
+    // still exists: everything initially queued is "round 1", whatever
+    // those iterations enqueue is "round 2", and so on. The round number
+    // feeds provenance and the trace; `stats.rounds` stays 0 (rounds are
+    // a parallel-schedule notion).
+    let mut round: u64 = 1;
+    let mut round_left = queue.len();
+    let mut round_span = obs.tracing().then(|| {
+        obs.span("fixpoint", "round 1").arg("constraints", round_left as u64)
+    });
+
+    {
+        let _fixpoint_span = obs.phase_span(ObsPhase::Fixpoint);
+        while let Some(ci) = queue.pop_front() {
+            queued.remove(&ci);
+            if round_left == 0 {
+                round += 1;
+                round_left = queue.len() + 1;
+                round_span = obs.tracing().then(|| {
+                    obs.span("fixpoint", format!("round {round}"))
+                        .arg("constraints", round_left as u64)
+                });
+            }
+            round_left -= 1;
+            stats.iterations += 1;
+            obs.metrics().fixpoint_iterations.incr();
+            obs.metrics().queue_depth.set(queue.len() as i64);
+            if stats.iterations.is_multiple_of(50) {
+                log_info!(
+                    "fixpoint: iter={} queue={} smt={} at [{}]",
+                    stats.iterations,
+                    queue.len(),
+                    obs.metrics().smt_queries.get() - base.queries,
+                    subs[ci].origin
+                );
+            }
+            if stats.iterations > budget.max_fixpoint_iterations {
+                // The worklist is not drained: the assignment may still
+                // be too strong, so nothing downstream can be trusted as
+                // Safe.
+                exhaustion = Some(Exhaustion::with_detail(
+                    Phase::Fixpoint,
+                    Resource::FixpointIterations,
+                    format!("cap {}", budget.max_fixpoint_iterations),
+                ));
+                break;
+            }
+            if deadline_expired(deadline) {
+                exhaustion = Some(Exhaustion::new(Phase::Fixpoint, Resource::Deadline));
+                break;
+            }
+            let view = View {
+                base: &assignment,
+                local: None,
+            };
+            smt.set_origin(Some(QueryOrigin {
+                constraint: ci as u32,
+                label: labels[ci].clone(),
+                round,
+                worker: 0,
+            }));
+            let weakened = weaken_constraint(genv, &subs[ci], &view, &mut smt, incremental);
+            for (k, kept) in weakened {
+                assignment.insert(k, kept);
+                for &r in readers.get(&k).map(Vec::as_slice).unwrap_or(&[]) {
+                    if !subs[r].writes().is_empty() && queued.insert(r) {
+                        queue.push_back(r);
+                    }
+                }
+                // Also re-check this constraint's siblings writing k.
+                if queued.insert(ci) {
+                    queue.push_back(ci);
                 }
             }
-            // Also re-check this constraint's siblings writing k.
-            if queued.insert(ci) {
-                queue.push_back(ci);
-            }
         }
+        drop(round_span);
     }
 
     stats.fixpoint_time = fixpoint_start.elapsed();
@@ -521,31 +548,35 @@ fn solve_sequential(
     // Final pass: concrete right-hand conjuncts.
     let obligation_start = Instant::now();
     let mut errors = Vec::new();
-    for c in subs {
-        let has_conc = c
-            .rhs
-            .atoms
-            .iter()
-            .any(|(_, a)| matches!(a, RefAtom::Conc(_)));
-        if !has_conc {
-            continue;
-        }
-        let (errs, exh) =
-            check_obligations(genv, c, &assignment, &mut smt, incremental, &mut stats);
-        errors.extend(errs);
-        if let Some(e) = exh {
-            exhaustion.get_or_insert(e);
+    {
+        let _obligation_span = obs.phase_span(ObsPhase::Obligations);
+        for (ci, c) in subs.iter().enumerate() {
+            let has_conc = c
+                .rhs
+                .atoms
+                .iter()
+                .any(|(_, a)| matches!(a, RefAtom::Conc(_)));
+            if !has_conc {
+                continue;
+            }
+            smt.set_origin(Some(QueryOrigin {
+                constraint: ci as u32,
+                label: labels[ci].clone(),
+                round: 0,
+                worker: 0,
+            }));
+            let (errs, exh) = check_obligations(genv, c, &assignment, &mut smt, incremental);
+            errors.extend(errs);
+            if let Some(e) = exh {
+                exhaustion.get_or_insert(e);
+            }
         }
     }
 
     stats.obligation_time = obligation_start.elapsed();
-    stats.worker_queries = vec![stats.smt_queries];
+    base.fill(&obs, &mut stats);
+    stats.worker_queries = vec![smt.stats.solved_queries];
     stats.worker_checks = vec![stats.iterations];
-    stats.smt_sessions = smt.stats.sessions;
-    stats.smt_scoped_checks = smt.stats.scoped_checks;
-    let cache = smt.cache_handle();
-    stats.cache_hits = cache.hits();
-    stats.cache_lookups = cache.lookups();
 
     Solution {
         assignment,
@@ -555,16 +586,64 @@ fn solve_sequential(
     }
 }
 
+/// Counter values at solve entry: per-solve stats are reported as deltas
+/// against these, so a driver-level `Obs` shared across several `verify`
+/// calls (spec specialization retries the whole pipeline) still yields
+/// correct per-solve numbers.
+struct MetricsBaseline {
+    queries: u64,
+    checks: u64,
+    hits: u64,
+    sessions: u64,
+    scoped: u64,
+}
+
+impl MetricsBaseline {
+    fn capture(obs: &Obs) -> MetricsBaseline {
+        let m = obs.metrics();
+        MetricsBaseline {
+            queries: m.smt_queries.get(),
+            checks: m.smt_checks.get(),
+            hits: m.smt_cache_hits.get(),
+            sessions: m.smt_sessions.get(),
+            scoped: m.smt_scoped_checks.get(),
+        }
+    }
+
+    /// Writes the registry deltas into `stats` — the metrics registry is
+    /// the single accounting authority for query counts.
+    fn fill(&self, obs: &Obs, stats: &mut SolveStats) {
+        let m = obs.metrics();
+        stats.smt_queries = m.smt_queries.get() - self.queries;
+        stats.cache_hits = m.smt_cache_hits.get() - self.hits;
+        stats.cache_lookups = m.smt_checks.get() - self.checks;
+        stats.smt_sessions = m.smt_sessions.get() - self.sessions;
+        stats.smt_scoped_checks = m.smt_scoped_checks.get() - self.scoped;
+    }
+}
+
+/// Formats one provenance label per constraint. Skipped entirely (empty
+/// `Arc<str>`s) on a disabled handle so label formatting never shows up
+/// in un-observed runs.
+fn constraint_labels(subs: &[SubC], obs: &Obs) -> Vec<std::sync::Arc<str>> {
+    if obs.enabled() {
+        subs.iter()
+            .map(|c| std::sync::Arc::from(c.origin.to_string().as_str()))
+            .collect()
+    } else {
+        let empty: std::sync::Arc<str> = std::sync::Arc::from("");
+        vec![empty; subs.len()]
+    }
+}
+
 /// What one fixpoint worker reports back for its partition.
 struct WorkerReport {
     /// Constraints checked.
     checked: u64,
-    /// SMT queries issued (from this worker's private counters).
+    /// SMT queries this worker's solver actually solved (its private
+    /// `solved_queries` counter; session/cache totals come from the
+    /// metrics registry instead).
     queries: u64,
-    /// Incremental sessions this worker's solver opened.
-    sessions: u64,
-    /// Scoped checks decided inside those sessions.
-    scoped_checks: u64,
     /// `(constraint, κ, survivors)` for every weakening, in processing
     /// order. The constraint index is kept so the merge can mirror the
     /// sequential solver's re-enqueue policy.
@@ -657,6 +736,8 @@ fn solve_parallel(
 ) -> Solution {
     let budget = config.budget;
     let deadline = budget.deadline_from_now();
+    let obs = config.obs.clone();
+    let base = MetricsBaseline::capture(&obs);
     let cache = QueryCache::shared();
     let query_counter = Arc::new(AtomicU64::new(0));
     let make_solver = || {
@@ -667,6 +748,7 @@ fn solve_parallel(
         smt.set_deadline(deadline);
         smt.share_cache(Arc::clone(&cache));
         smt.share_query_counter(Arc::clone(&query_counter));
+        smt.set_obs(obs.clone());
         smt
     };
 
@@ -679,16 +761,14 @@ fn solve_parallel(
         worker_checks: vec![0; jobs],
         ..SolveStats::default()
     };
-    let progress = std::env::var_os("DSOLVE_PROGRESS").is_some();
-    if progress {
-        eprintln!(
-            "solve[{jobs} jobs]: {} constraints, {} kvars",
-            subs.len(),
-            kenv.len()
-        );
-    }
+    log_info!(
+        "solve[{jobs} jobs]: {} constraints, {} kvars",
+        subs.len(),
+        kenv.len()
+    );
 
     let mut assignment = initial_assignment(kenv, quals, &mut stats);
+    let labels = constraint_labels(subs, &obs);
 
     // Dependency indices.
     let mut readers: HashMap<KVar, Vec<usize>> = HashMap::new();
@@ -704,6 +784,7 @@ fn solve_parallel(
         .collect();
     let mut queued: HashSet<usize> = queue.iter().copied().collect();
 
+    let fixpoint_span = obs.phase_span(ObsPhase::Fixpoint);
     while !queue.is_empty() {
         if deadline_expired(deadline) {
             exhaustion = Some(Exhaustion::new(Phase::Fixpoint, Resource::Deadline));
@@ -732,33 +813,38 @@ fn solve_parallel(
 
         let partitions = partition_round(&round, &writes, jobs);
         stats.rounds += 1;
+        obs.metrics().fixpoint_rounds.incr();
+        let round_no = stats.rounds;
         stats.max_partition = stats
             .max_partition
             .max(partitions.iter().map(Vec::len).max().unwrap_or(0));
-        if progress {
-            eprintln!(
-                "fixpoint round {}: {} constraints in {} partitions (max {})",
-                stats.rounds,
-                round.len(),
-                partitions.len(),
-                partitions.iter().map(Vec::len).max().unwrap_or(0)
-            );
-        }
+        log_info!(
+            "fixpoint round {}: {} constraints in {} partitions (max {})",
+            stats.rounds,
+            round.len(),
+            partitions.len(),
+            partitions.iter().map(Vec::len).max().unwrap_or(0)
+        );
+        let round_span = obs.tracing().then(|| {
+            obs.span("fixpoint", format!("round {round_no}"))
+                .arg("constraints", round.len() as u64)
+                .arg("partitions", partitions.len() as u64)
+        });
 
         let snapshot = &assignment;
+        let labels_ref = &labels;
+        let obs_ref = &obs;
         let reports: Vec<WorkerReport> = std::thread::scope(|s| {
             let handles: Vec<_> = partitions
                 .iter()
-                .map(|part| {
+                .enumerate()
+                .map(|(w, part)| {
                     let mut smt = make_solver();
                     s.spawn(move || {
                         let mut local: HashMap<KVar, Vec<Pred>> = HashMap::new();
-                        let mut wstats = SolveStats::default();
                         let mut report = WorkerReport {
                             checked: 0,
                             queries: 0,
-                            sessions: 0,
-                            scoped_checks: 0,
                             weakened: Vec::new(),
                             exhaustion: None,
                         };
@@ -771,21 +857,25 @@ fn solve_parallel(
                                 break;
                             }
                             report.checked += 1;
+                            obs_ref.metrics().fixpoint_iterations.incr();
                             let view = View {
                                 base: snapshot,
                                 local: Some(&local),
                             };
-                            let weakened = weaken_constraint(
-                                genv, &subs[ci], &view, &mut smt, incremental, &mut wstats,
-                            );
+                            smt.set_origin(Some(QueryOrigin {
+                                constraint: ci as u32,
+                                label: labels_ref[ci].clone(),
+                                round: round_no,
+                                worker: w as u32,
+                            }));
+                            let weakened =
+                                weaken_constraint(genv, &subs[ci], &view, &mut smt, incremental);
                             for (k, kept) in weakened {
                                 local.insert(k, kept.clone());
                                 report.weakened.push((ci, k, kept));
                             }
                         }
-                        report.queries = wstats.smt_queries;
-                        report.sessions = smt.stats.sessions;
-                        report.scoped_checks = smt.stats.scoped_checks;
+                        report.queries = smt.stats.solved_queries;
                         report
                     })
                 })
@@ -795,6 +885,7 @@ fn solve_parallel(
                 .map(|h| h.join().expect("fixpoint worker panicked"))
                 .collect()
         });
+        drop(round_span);
 
         // Deterministic merge: workers are ordered, partitions have
         // disjoint write-sets, and each worker reports weakenings in
@@ -804,9 +895,6 @@ fn solve_parallel(
             stats.iterations += report.checked;
             stats.worker_queries[w] += report.queries;
             stats.worker_checks[w] += report.checked;
-            stats.smt_queries += report.queries;
-            stats.smt_sessions += report.sessions;
-            stats.smt_scoped_checks += report.scoped_checks;
             if let Some(e) = &report.exhaustion {
                 exhaustion.get_or_insert(e.clone());
             }
@@ -824,6 +912,7 @@ fn solve_parallel(
                 }
             }
         }
+        obs.metrics().queue_depth.set(queue.len() as i64);
         if over_cap && exhaustion.is_none() {
             exhaustion = Some(Exhaustion::with_detail(
                 Phase::Fixpoint,
@@ -835,6 +924,7 @@ fn solve_parallel(
             break;
         }
     }
+    drop(fixpoint_span);
 
     stats.fixpoint_time = fixpoint_start.elapsed();
 
@@ -853,42 +943,40 @@ fn solve_parallel(
         .collect();
     let chunk = targets.len().div_ceil(jobs.max(1)).max(1);
     let assignment_ref = &assignment;
+    let labels_ref = &labels;
+    let obligation_span = obs.phase_span(ObsPhase::Obligations);
     let mut obligation_results: Vec<(usize, Vec<LiquidError>, Option<Exhaustion>)> =
         std::thread::scope(|s| {
             let handles: Vec<_> = targets
                 .chunks(chunk)
-                .map(|part| {
+                .enumerate()
+                .map(|(w, part)| {
                     let mut smt = make_solver();
                     s.spawn(move || {
                         let mut out = Vec::new();
-                        let mut wstats = SolveStats::default();
                         for &ci in part {
+                            smt.set_origin(Some(QueryOrigin {
+                                constraint: ci as u32,
+                                label: labels_ref[ci].clone(),
+                                round: 0,
+                                worker: w as u32,
+                            }));
                             let (errs, exh) = check_obligations(
                                 genv,
                                 &subs[ci],
                                 assignment_ref,
                                 &mut smt,
                                 incremental,
-                                &mut wstats,
                             );
                             out.push((ci, errs, exh));
                         }
-                        (
-                            out,
-                            wstats.smt_queries,
-                            smt.stats.sessions,
-                            smt.stats.scoped_checks,
-                        )
+                        (out, smt.stats.solved_queries)
                     })
                 })
                 .collect();
             let mut merged = Vec::new();
             for (w, h) in handles.into_iter().enumerate() {
-                let (out, queries, sessions, scoped) =
-                    h.join().expect("obligation worker panicked");
-                stats.smt_queries += queries;
-                stats.smt_sessions += sessions;
-                stats.smt_scoped_checks += scoped;
+                let (out, queries) = h.join().expect("obligation worker panicked");
                 if w < stats.worker_queries.len() {
                     stats.worker_queries[w] += queries;
                 }
@@ -896,6 +984,7 @@ fn solve_parallel(
             }
             merged
         });
+    drop(obligation_span);
     obligation_results.sort_by_key(|(ci, _, _)| *ci);
     let mut errors = Vec::new();
     for (_, errs, exh) in obligation_results {
@@ -906,8 +995,7 @@ fn solve_parallel(
     }
 
     stats.obligation_time = obligation_start.elapsed();
-    stats.cache_hits = cache.hits();
-    stats.cache_lookups = cache.lookups();
+    base.fill(&obs, &mut stats);
 
     Solution {
         assignment,
@@ -928,17 +1016,14 @@ fn check_group(
     full: Option<&Pred>,
     group: &[(Pred, Pred)],
     kept: &mut Vec<Pred>,
-    stats: &mut SolveStats,
 ) {
     match group {
         [] => {}
         [(q, rhs_q)] => {
-            stats.smt_queries += 1;
             let mut ok = smt.is_valid(sorts, lhs, rhs_q);
             if !ok && !retry_disabled() {
                 if let Some(full) = full {
                     if full != lhs {
-                        stats.smt_queries += 1;
                         ok = smt.is_valid(sorts, full, rhs_q);
                     }
                 }
@@ -949,13 +1034,12 @@ fn check_group(
         }
         _ => {
             let all = Pred::and(group.iter().map(|(_, r)| r.clone()).collect());
-            stats.smt_queries += 1;
             if smt.is_valid(sorts, lhs, &all) {
                 kept.extend(group.iter().map(|(q, _)| q.clone()));
             } else {
                 let mid = group.len() / 2;
-                check_group(smt, sorts, lhs, full, &group[..mid], kept, stats);
-                check_group(smt, sorts, lhs, full, &group[mid..], kept, stats);
+                check_group(smt, sorts, lhs, full, &group[..mid], kept);
+                check_group(smt, sorts, lhs, full, &group[mid..], kept);
             }
         }
     }
@@ -975,19 +1059,16 @@ fn check_group_batched(
     full: Option<&Pred>,
     group: &[(Pred, Pred)],
     kept: &mut Vec<Pred>,
-    stats: &mut SolveStats,
 ) {
     if group.len() <= 1 {
-        return check_group(smt, sorts, lhs, full, group, kept, stats);
+        return check_group(smt, sorts, lhs, full, group, kept);
     }
     let all = Pred::and(group.iter().map(|(_, r)| r.clone()).collect());
-    stats.smt_queries += 1;
     if smt.is_valid(sorts, lhs, &all) {
         kept.extend(group.iter().map(|(q, _)| q.clone()));
         return;
     }
     let rhss: Vec<Pred> = group.iter().map(|(_, r)| r.clone()).collect();
-    stats.smt_queries += rhss.len() as u64;
     let verdicts = smt.check_valid_many(sorts, lhs, &rhss);
     let mut failed: Vec<&(Pred, Pred)> = Vec::new();
     for (pair, v) in group.iter().zip(&verdicts) {
@@ -1007,7 +1088,6 @@ fn check_group_batched(
         return;
     }
     let retry: Vec<Pred> = failed.iter().map(|(_, r)| r.clone()).collect();
-    stats.smt_queries += retry.len() as u64;
     let verdicts = smt.check_valid_many(sorts, full, &retry);
     for (pair, v) in failed.into_iter().zip(&verdicts) {
         if matches!(v, Validity::Valid) {

@@ -105,6 +105,10 @@ impl Verifier {
             env = env.bind_scheme(name, scheme);
         }
         let gen_start = Instant::now();
+        let gen_span = self
+            .config
+            .obs
+            .phase_span(dsolve_obs::ObsPhase::ConstraintGen);
         let mut gen = Gen::new(&self.genv);
         let final_env = match gen.program(prog, env) {
             Ok(e) => e,
@@ -140,6 +144,7 @@ impl Verifier {
         }
 
         let num_constraints = gen.subs.len();
+        drop(gen_span);
         let gen_time = gen_start.elapsed();
         let mut solution: Solution =
             solve(&self.genv, &gen.kenv, &gen.subs, &self.quals, &self.config);

@@ -1,0 +1,82 @@
+//! Thread-local theory timers.
+//!
+//! The theory layer's entry points are free functions
+//! (`check_assignment` and friends) with no solver handle in scope, so
+//! per-theory time is accumulated in a thread-local array and drained
+//! into the owning [`crate::Obs`] registry when the enclosing SMT query
+//! records itself. Residue left by a query that never records (e.g. a
+//! standalone session check in a unit test) is simply attributed to the
+//! next query on the same thread — bounded, and irrelevant in the
+//! pipeline where every charged query records.
+
+use crate::metrics::{TheoryKind, NTHEORIES};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+thread_local! {
+    static ACC: Cell<[u64; NTHEORIES]> = const { Cell::new([0; NTHEORIES]) };
+}
+
+/// Global switch for the timers. On by default; the overhead guard
+/// flips it off to measure an un-instrumented baseline.
+static TIMERS_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables theory timing globally.
+pub fn set_timers_enabled(on: bool) {
+    TIMERS_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Adds `ns` nanoseconds to the calling thread's accumulator for
+/// `kind`.
+#[inline]
+pub fn add(kind: TheoryKind, ns: u64) {
+    ACC.with(|acc| {
+        let mut a = acc.get();
+        a[kind.index()] += ns;
+        acc.set(a);
+    });
+}
+
+/// Times `f` against `kind`. When timers are disabled this is a single
+/// relaxed load plus the call.
+#[inline]
+pub fn time<T>(kind: TheoryKind, f: impl FnOnce() -> T) -> T {
+    if !TIMERS_ENABLED.load(Ordering::Relaxed) {
+        return f();
+    }
+    let start = Instant::now();
+    let r = f();
+    add(kind, start.elapsed().as_nanos() as u64);
+    r
+}
+
+/// Takes and zeroes the calling thread's accumulator.
+pub fn drain() -> [u64; NTHEORIES] {
+    ACC.with(|acc| acc.replace([0; NTHEORIES]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_accumulates_and_drains() {
+        drain();
+        let v = time(TheoryKind::Euf, || 41 + 1);
+        assert_eq!(v, 42);
+        add(TheoryKind::Sat, 100);
+        let a = drain();
+        assert_eq!(a[TheoryKind::Sat.index()], 100);
+        assert_eq!(drain(), [0; NTHEORIES]);
+    }
+
+    #[test]
+    fn disabled_timers_record_nothing() {
+        drain();
+        set_timers_enabled(false);
+        time(TheoryKind::Simplex, || std::thread::sleep(std::time::Duration::from_millis(1)));
+        assert_eq!(drain()[TheoryKind::Simplex.index()], 0);
+        set_timers_enabled(true);
+    }
+}

@@ -26,6 +26,7 @@ use crate::sets::{canonicalize_sets, set_saturation_lemma_list};
 use crate::solver::{eliminate_ite, SmtResult, SolverStats};
 use crate::theory::{check_assignment, TheoryBudget, TheoryResult};
 use dsolve_logic::{deadline_expired, Budget, Exhaustion, Phase, Pred, Resource, SortEnv};
+use dsolve_obs::{theory as theory_timer, TheoryKind};
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -101,7 +102,8 @@ impl Session {
     /// Set canonicalization happens here, per predicate; the encoding
     /// itself is deferred to [`Session::check`].
     pub(crate) fn assert_pred(&mut self, p: &Pred) {
-        self.asserted.push(canonicalize_sets(p));
+        let canon = theory_timer::time(TheoryKind::Sets, || canonicalize_sets(p));
+        self.asserted.push(canon);
     }
 
     fn grow_sat(&mut self) {
@@ -167,12 +169,15 @@ impl Session {
             1 => self.asserted[0].clone(),
             _ => Pred::and(self.asserted.clone()),
         };
-        let (set_lemmas, saturation_truncated) =
-            set_saturation_lemma_list(&conj, budget.max_saturation_lemmas);
+        let (set_lemmas, saturation_truncated) = theory_timer::time(TheoryKind::Sets, || {
+            set_saturation_lemma_list(&conj, budget.max_saturation_lemmas)
+        });
         let arr_lemmas = if self.array_axioms {
-            let mut parts = vec![conj];
-            parts.extend(set_lemmas.iter().cloned());
-            array_axiom_lemmas(&Pred::and(parts))
+            theory_timer::time(TheoryKind::Arrays, || {
+                let mut parts = vec![conj];
+                parts.extend(set_lemmas.iter().cloned());
+                array_axiom_lemmas(&Pred::and(parts))
+            })
         } else {
             Vec::new()
         };
@@ -224,7 +229,10 @@ impl Session {
         let minimize = self.choice;
         let mut conflicts = 0u64;
         loop {
-            match self.sat.solve_within(deadline, budget.max_sat_conflicts) {
+            let sat_verdict_raw = theory_timer::time(TheoryKind::Sat, || {
+                self.sat.solve_within(deadline, budget.max_sat_conflicts)
+            });
+            match sat_verdict_raw {
                 SatResult::Unsat => return SmtResult::Unsat,
                 SatResult::Unknown => {
                     let resource = if deadline_expired(deadline) {

@@ -15,6 +15,7 @@ use crate::theory::{check_assignment, TheoryBudget, TheoryResult};
 use dsolve_logic::{
     deadline_expired, Budget, Exhaustion, Expr, Phase, Pred, Resource, Sort, SortEnv, Symbol,
 };
+use dsolve_obs::{theory as theory_timer, Obs, QueryOrigin, TheoryKind};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -39,6 +40,11 @@ pub struct SolverStats {
     /// `scoped_checks / sessions` is the scope reuse rate — how many
     /// queries each shared encoding served.
     pub scoped_checks: u64,
+    /// Queries this solver actually solved (each charged one unit
+    /// against `--max-smt-queries`). Unlike the shared counter behind
+    /// [`SmtSolver::queries_charged`], this is local to the solver, so
+    /// parallel fixpoint workers report per-worker totals from it.
+    pub solved_queries: u64,
 }
 
 /// Configuration knobs (exposed for the ablation benchmarks).
@@ -125,6 +131,13 @@ pub struct SmtSolver {
     /// The active incremental session, if [`SmtSolver::start_incremental`]
     /// opened one.
     session: Option<Box<crate::session::Session>>,
+    /// Observability handle: metrics registry, query latency histogram,
+    /// and per-constraint cost attribution. Disabled by default;
+    /// [`SmtSolver::set_obs`] installs the pipeline's live handle.
+    obs: Obs,
+    /// Provenance stamped on every subsequently solved query (the
+    /// liquid solver sets it before discharging each constraint).
+    origin: Option<QueryOrigin>,
 }
 
 impl Default for SmtSolver {
@@ -137,6 +150,8 @@ impl Default for SmtSolver {
             deadline: None,
             deadline_armed: false,
             session: None,
+            obs: Obs::off(),
+            origin: None,
         }
     }
 }
@@ -175,6 +190,26 @@ impl SmtSolver {
     /// caps the total across every solver holding the same counter.
     pub fn share_query_counter(&mut self, queries: Arc<AtomicU64>) {
         self.queries = queries;
+    }
+
+    /// Installs an observability handle. Every metrics-relevant event
+    /// (check requested, cache hit/miss, query solved or refused,
+    /// session opened, scoped check) records into its registry, making
+    /// it the single source of truth for query accounting.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The observability handle in use.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Stamps the provenance attributed to subsequently solved queries
+    /// (`None` clears it). The liquid fixpoint sets this before each
+    /// constraint so query cost rolls up per program location.
+    pub fn set_origin(&mut self, origin: Option<QueryOrigin>) {
+        self.origin = origin;
     }
 
     /// Queries charged so far against the (possibly shared) cap.
@@ -243,18 +278,27 @@ impl SmtSolver {
         consequent: &Pred,
     ) -> Validity {
         self.stats.valid_queries += 1;
+        self.obs.metrics().smt_checks.incr();
         if self.config.cache {
             if let Some(v) = self.cache.get(antecedent, consequent) {
                 self.stats.cache_hits += 1;
+                self.obs.metrics().smt_cache_hits.incr();
                 return if v { Validity::Valid } else { Validity::Invalid };
             }
         }
+        self.obs.metrics().smt_cache_misses.incr();
         if let Some(e) = self.entry_exhaustion() {
+            self.obs.metrics().smt_refused.incr();
             return Validity::Unknown(e);
         }
         self.queries.fetch_add(1, Ordering::Relaxed);
+        self.stats.solved_queries += 1;
+        self.obs.metrics().smt_queries.incr();
+        let qstart = Instant::now();
         let negated = Pred::and(vec![antecedent.clone(), Pred::not(consequent.clone())]);
         let verdict = self.check_sat_inner(env, &negated);
+        self.obs
+            .record_query(self.origin.as_ref(), qstart, validity_name(&verdict));
         // Only definite answers are cached: an `Unknown` under one budget
         // may well be decidable under a larger one.
         match verdict {
@@ -277,12 +321,21 @@ impl SmtSolver {
     /// Decides satisfiability of `p` under `env`, reporting `Unknown`
     /// when a budget runs out.
     pub fn check_sat(&mut self, env: &SortEnv, p: &Pred) -> SmtResult {
+        self.obs.metrics().smt_checks.incr();
+        self.obs.metrics().smt_cache_misses.incr();
         if let Some(e) = self.entry_exhaustion() {
+            self.obs.metrics().smt_refused.incr();
             return SmtResult::Unknown(e);
         }
         self.stats.sat_queries += 1;
         self.queries.fetch_add(1, Ordering::Relaxed);
-        self.check_sat_inner(env, p)
+        self.stats.solved_queries += 1;
+        self.obs.metrics().smt_queries.incr();
+        let qstart = Instant::now();
+        let verdict = self.check_sat_inner(env, p);
+        self.obs
+            .record_query(self.origin.as_ref(), qstart, smt_name(&verdict));
+        verdict
     }
 
     /// Decides validity of `antecedent ⇒ consequent` under `env`.
@@ -320,6 +373,7 @@ impl SmtSolver {
             self.config.array_axioms,
         )));
         self.stats.sessions += 1;
+        self.obs.metrics().smt_sessions.incr();
     }
 
     /// Closes the active incremental session, if any, releasing its
@@ -375,19 +429,28 @@ impl SmtSolver {
     ///
     /// Panics when no session is active.
     pub fn check_incremental(&mut self) -> SmtResult {
+        self.obs.metrics().smt_checks.incr();
+        self.obs.metrics().smt_cache_misses.incr();
         if let Some(e) = self.entry_exhaustion() {
+            self.obs.metrics().smt_refused.incr();
             return SmtResult::Unknown(e);
         }
         self.stats.sat_queries += 1;
         self.stats.scoped_checks += 1;
+        self.obs.metrics().smt_scoped_checks.incr();
         self.queries.fetch_add(1, Ordering::Relaxed);
+        self.stats.solved_queries += 1;
+        self.obs.metrics().smt_queries.incr();
         let deadline = self.effective_deadline();
         let budget = self.config.budget;
         let mut session = self
             .session
             .take()
             .expect("check_incremental: no active incremental session");
+        let qstart = Instant::now();
         let verdict = session.check(&budget, deadline, &mut self.stats);
+        self.obs
+            .record_query(self.origin.as_ref(), qstart, smt_name(&verdict));
         self.session = Some(session);
         verdict
     }
@@ -414,21 +477,28 @@ impl SmtSolver {
         let budget = self.config.budget;
         for consequent in consequents {
             self.stats.valid_queries += 1;
+            self.obs.metrics().smt_checks.incr();
             if self.config.cache {
                 if let Some(v) = self.cache.get(antecedent, consequent) {
                     self.stats.cache_hits += 1;
+                    self.obs.metrics().smt_cache_hits.incr();
                     out.push(if v { Validity::Valid } else { Validity::Invalid });
                     continue;
                 }
             }
+            self.obs.metrics().smt_cache_misses.incr();
             if let Some(e) = self.entry_exhaustion() {
+                self.obs.metrics().smt_refused.incr();
                 out.push(Validity::Unknown(e));
                 continue;
             }
             self.queries.fetch_add(1, Ordering::Relaxed);
+            self.stats.solved_queries += 1;
+            self.obs.metrics().smt_queries.incr();
             let deadline = self.effective_deadline();
             if session.is_none() {
                 self.stats.sessions += 1;
+                self.obs.metrics().smt_sessions.incr();
                 let mut s = Box::new(crate::session::Session::new(
                     env.clone(),
                     self.config.array_axioms,
@@ -438,10 +508,14 @@ impl SmtSolver {
             }
             let s = session.as_mut().expect("session initialized above");
             self.stats.scoped_checks += 1;
+            self.obs.metrics().smt_scoped_checks.incr();
+            let qstart = Instant::now();
             s.push();
             s.assert_pred(&Pred::not(consequent.clone()));
             let verdict = s.check(&budget, deadline, &mut self.stats);
             s.pop();
+            self.obs
+                .record_query(self.origin.as_ref(), qstart, validity_name(&verdict));
             out.push(match verdict {
                 SmtResult::Unsat => {
                     if self.config.cache {
@@ -471,11 +545,12 @@ impl SmtSolver {
         // formula, so an `Unsat` answer below remains sound, but a `Sat`
         // answer could be an artifact of the missing lemmas and must be
         // demoted to `Unknown`.
-        let p = canonicalize_sets(p);
-        let (p, saturation_truncated) =
-            set_saturation_lemmas(&p, budget.max_saturation_lemmas);
+        let (p, saturation_truncated) = theory_timer::time(TheoryKind::Sets, || {
+            let p = canonicalize_sets(p);
+            set_saturation_lemmas(&p, budget.max_saturation_lemmas)
+        });
         let p = if self.config.array_axioms {
-            instantiate_array_axioms(&p)
+            theory_timer::time(TheoryKind::Arrays, || instantiate_array_axioms(&p))
         } else {
             p
         };
@@ -517,7 +592,10 @@ impl SmtSolver {
         let minimize = sat_has_choice(&cnf_clauses_snapshot);
         let mut conflicts = 0u64;
         loop {
-            match sat.solve_within(deadline, budget.max_sat_conflicts) {
+            let sat_verdict_raw = theory_timer::time(TheoryKind::Sat, || {
+                sat.solve_within(deadline, budget.max_sat_conflicts)
+            });
+            match sat_verdict_raw {
                 SatResult::Unsat => return SmtResult::Unsat,
                 SatResult::Unknown => {
                     let resource = if deadline_expired(deadline) {
@@ -574,6 +652,25 @@ impl SmtSolver {
 /// clause with more than one literal).
 fn sat_has_choice(clause_lens: &[usize]) -> bool {
     clause_lens.iter().any(|&l| l > 1)
+}
+
+/// Trace-event verdict name for a validity query decided by refuting
+/// its negation (`Unsat` means the implication is valid).
+fn validity_name(r: &SmtResult) -> &'static str {
+    match r {
+        SmtResult::Unsat => "valid",
+        SmtResult::Sat => "invalid",
+        SmtResult::Unknown(_) => "unknown",
+    }
+}
+
+/// Trace-event verdict name for a direct satisfiability query.
+fn smt_name(r: &SmtResult) -> &'static str {
+    match r {
+        SmtResult::Sat => "sat",
+        SmtResult::Unsat => "unsat",
+        SmtResult::Unknown(_) => "unknown",
+    }
 }
 
 /// Replaces every term-level `if-then-else` with a fresh defined variable:

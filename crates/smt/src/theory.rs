@@ -19,6 +19,7 @@ use crate::simplex::{LpResult, Simplex};
 use crate::term::{Term, TermId};
 use crate::Rat;
 use dsolve_logic::{deadline_expired, Budget, Resource, Sort};
+use dsolve_obs::{theory as theory_timer, TheoryKind};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
@@ -195,7 +196,7 @@ fn consistent(
     // Nelson–Oppen propagation loop.
     let mut sent_to_simplex: HashSet<(TermId, TermId)> = HashSet::new();
     loop {
-        if euf.check(arena) == EufResult::Unsat {
+        if theory_timer::time(TheoryKind::Euf, || euf.check(arena)) == EufResult::Unsat {
             return Consistency::Unsat;
         }
         // EUF → simplex.
@@ -214,7 +215,10 @@ fn consistent(
                 changed = true;
             }
         }
-        match simplex.check_int_within(budget.bb_nodes, budget.deadline) {
+        let lp_verdict = theory_timer::time(TheoryKind::Simplex, || {
+            simplex.check_int_within(budget.bb_nodes, budget.deadline)
+        });
+        match lp_verdict {
             LpResult::Unsat => return Consistency::Unsat,
             LpResult::Unknown => {
                 let r = if deadline_expired(budget.deadline) {
@@ -228,31 +232,36 @@ fn consistent(
         }
         // Simplex → EUF: implied equalities among shared terms. Only
         // pairs EUF could *use* matter: arguments of uninterpreted
-        // applications and sides of disequalities.
-        let mut new_eq = false;
-        let mut interesting = interesting_terms(arena);
-        interesting.extend(diseq_terms.iter().copied());
-        let candidates: Vec<TermId> = shared
-            .iter()
-            .copied()
-            .filter(|t| interesting.contains(t))
-            .collect();
-        for i in 0..candidates.len() {
-            for j in (i + 1)..candidates.len() {
-                let (a, b) = (candidates[i], candidates[j]);
-                if euf.same_class(a, b) {
-                    continue;
-                }
-                let (va, vb) = (var_of[&a], var_of[&b]);
-                if simplex.value(va) != simplex.value(vb) {
-                    continue;
-                }
-                if !separable(&simplex, va, vb) {
-                    euf.assert_eq(a, b);
-                    new_eq = true;
+        // applications and sides of disequalities. The scan is simplex
+        // work (each candidate pair probes cloned tableaux), so it is
+        // timed as such.
+        let new_eq = theory_timer::time(TheoryKind::Simplex, || {
+            let mut new_eq = false;
+            let mut interesting = interesting_terms(arena);
+            interesting.extend(diseq_terms.iter().copied());
+            let candidates: Vec<TermId> = shared
+                .iter()
+                .copied()
+                .filter(|t| interesting.contains(t))
+                .collect();
+            for i in 0..candidates.len() {
+                for j in (i + 1)..candidates.len() {
+                    let (a, b) = (candidates[i], candidates[j]);
+                    if euf.same_class(a, b) {
+                        continue;
+                    }
+                    let (va, vb) = (var_of[&a], var_of[&b]);
+                    if simplex.value(va) != simplex.value(vb) {
+                        continue;
+                    }
+                    if !separable(&simplex, va, vb) {
+                        euf.assert_eq(a, b);
+                        new_eq = true;
+                    }
                 }
             }
-        }
+            new_eq
+        });
         if !new_eq && !changed {
             return Consistency::Sat;
         }

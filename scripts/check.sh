@@ -17,6 +17,34 @@ cargo test --workspace -q
 echo "== cargo test -p dsolve-smt --test incremental_vs_scratch --test theory_oracles"
 cargo test -p dsolve-smt --test incremental_vs_scratch --test theory_oracles
 
+# Observability: registry/accounting invariants, trace validation, and
+# the overhead guard, by name for the same reason.
+echo "== cargo test -p dsolve-obs -p dsolve --test obs"
+cargo test -p dsolve-obs
+cargo test -p dsolve --test obs
+echo "== cargo test -p dsolve-bench --test obs_overhead"
+cargo test -p dsolve-bench --test obs_overhead
+
+# Smoke a real trace through the validator: the emitted file must be a
+# well-formed Chrome trace with provenance-named query spans.
+echo "== dsolve --trace-out smoke"
+TRACE_TMP=$(mktemp /tmp/dsolve-trace-smoke.XXXXXX.json)
+./target/release/dsolve benchmarks/stablesort.ml --quiet --jobs 1 --trace-out "$TRACE_TMP"
+./scripts/top_queries.sh "$TRACE_TMP" 3 > /dev/null
+python3 - "$TRACE_TMP" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))
+spans = [e for e in events if e.get("ph") == "X"]
+assert spans, "no complete events in trace"
+names = {e["name"] for e in spans}
+for phase in ("parse", "constraint_gen", "fixpoint", "obligations"):
+    assert phase in names, f"missing {phase} span"
+assert any(n.startswith("round ") for n in names), "missing round spans"
+assert any(e.get("cat") == "smt" for e in spans), "missing SMT query spans"
+print(f"trace ok: {len(events)} events, {len(spans)} spans")
+EOF
+rm -f "$TRACE_TMP"
+
 echo "== cargo build --release -p dsolve-bench --features bench --benches"
 cargo build --release -p dsolve-bench --features bench --benches
 

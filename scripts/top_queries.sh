@@ -1,0 +1,49 @@
+#!/bin/bash
+# Pretty-prints the top-K most expensive SMT queries from a Chrome trace
+# written by `dsolve --trace-out`.
+#
+#   scripts/top_queries.sh TRACE.json [K]
+#
+# Each line: duration, verdict, constraint id, round, and the NanoML
+# source location the query discharges. K defaults to 10.
+set -euo pipefail
+
+if [[ $# -lt 1 || $# -gt 2 ]]; then
+    echo "usage: $0 TRACE.json [K]" >&2
+    exit 2
+fi
+trace="$1"
+k="${2:-10}"
+
+python3 - "$trace" "$k" <<'EOF'
+import json, sys
+
+path, k = sys.argv[1], int(sys.argv[2])
+with open(path) as f:
+    text = f.read()
+# dsolve finishes the array on exit, but a killed run may leave it open;
+# tolerate that the same way the in-tree validator does.
+try:
+    events = json.loads(text)
+except json.JSONDecodeError:
+    body = text.strip()
+    if body.startswith("["):
+        body = body[1:]
+    events = json.loads("[" + body.rstrip().rstrip(",") + "]")
+
+queries = [
+    e for e in events
+    if e.get("ph") == "X" and e.get("cat") == "smt"
+]
+queries.sort(key=lambda e: e.get("dur", 0), reverse=True)
+
+total_us = sum(e.get("dur", 0) for e in queries)
+print(f"{len(queries)} SMT queries, {total_us/1e3:.1f}ms total; top {min(k, len(queries))}:")
+for e in queries[:k]:
+    args = e.get("args", {})
+    print(
+        f"  {e.get('dur', 0)/1e3:9.3f}ms  {args.get('verdict', '?'):8}"
+        f"  c{args.get('constraint', '?'):<5} round {args.get('round', '?'):<3}"
+        f" [{e.get('name', '?')}]"
+    )
+EOF
