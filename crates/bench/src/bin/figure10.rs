@@ -4,16 +4,20 @@
 //!
 //! ```text
 //! cargo run --release -p dsolve-bench --bin figure10 \
-//!     [--timeout <secs>] [--jobs <n>] [--json <path>] [--stats] [names...]
+//!     [--timeout <secs>] [--jobs <n>] [--json <path>] [--stats]
+//!     [--certify] [names...]
 //! ```
 //!
 //! Each benchmark runs under panic isolation: a pathological module
 //! reports `UNKNOWN (panic …)` and the suite keeps going. `--timeout`
 //! bounds every job's wall clock; exhausted budgets likewise surface as
 //! `UNKNOWN` rows instead of hanging the table. `--jobs` sets the
-//! fixpoint worker count (0 = one per CPU). `--json` writes a
-//! machine-readable record per benchmark (wall time, SMT queries, cache
-//! hits, jobs) for trend tracking — see `BENCH_figure10.json`.
+//! fixpoint worker count (0 = one per CPU). `--certify` replays every
+//! definite SMT verdict through the independent certifier (the
+//! `certs_checked`/`certs_failed` counters land in each row's metrics).
+//! `--json` writes a machine-readable record per benchmark (wall time,
+//! SMT queries, cache hits, jobs) for trend tracking — see
+//! `BENCH_figure10.json`.
 
 use dsolve::{JobError, Row, Status, Table};
 use dsolve_bench::{load, BENCHMARKS};
@@ -44,11 +48,13 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut json_path: Option<String> = None;
     let mut stats = false;
+    let mut certify = false;
     let mut filter: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--stats" => stats = true,
+            "--certify" => certify = true,
             "--timeout" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
                 Some(secs) => timeout = Some(secs),
                 None => {
@@ -90,6 +96,7 @@ fn main() {
                 if let Some(n) = jobs {
                     j.config.jobs = n;
                 }
+                j.config.smt.certify = certify;
                 // Fresh registry per benchmark so each row's metrics
                 // cover exactly one job.
                 j.config.obs = Obs::new();

@@ -4,6 +4,7 @@
 //! dsolve <module.ml> [--quals <file>] [--mlq <file>] [--annot]
 //!        [--annot-out <file>] [--stats] [--trace-out <file>] [--quiet]
 //!        [--timeout <secs>] [--max-smt-queries <n>] [--jobs <n>]
+//!        [--certify] [--inject-fault <point[@N]>]
 //! ```
 //!
 //! `--annot-out` writes the inferred liquid types to a `.annot` file, as
@@ -11,6 +12,16 @@
 //! the run; an exhausted budget reports `UNKNOWN` with the reason.
 //! `--jobs` sets the fixpoint worker count (default: one per available
 //! CPU; `--jobs 1` selects the sequential solver).
+//!
+//! `--certify` replays every definite SMT verdict through an independent
+//! checker (countermodel evaluation for Invalid, theory-core replay for
+//! Valid); a certificate that fails to replay downgrades the answer to
+//! `UNKNOWN` rather than ever flipping it. `--inject-fault` (or the
+//! `DSOLVE_FAULT` environment variable) arms one deterministic fault
+//! point — `worker-panic`, `session-fail`, `cache-poison`, `trace-io`,
+//! or `query-timeout`, optionally `@N` for the N-th occurrence — used by
+//! the fault-matrix robustness tests; a faulted run either matches the
+//! clean verdict or degrades to `UNKNOWN` (exit 2).
 //!
 //! `--trace-out` writes a Chrome `trace_event` JSON file (open it in
 //! `chrome://tracing` or Perfetto) with spans for every pipeline phase,
@@ -21,16 +32,17 @@
 //!
 //! By default `<module>.quals` and `<module>.mlq` next to the module are
 //! used when present. Exit status: 0 = safe, 1 = unsafe, 2 = unknown
-//! (budget exhausted or isolated panic), 3 = front-end/spec errors or
-//! bad usage.
+//! (budget exhausted, isolated panic, quarantined worker, or failed
+//! certificate), 3 = front-end/spec errors or bad usage.
 
 use dsolve::{Job, JobError};
+use dsolve_logic::{FaultPlan, FaultPoint};
 use dsolve_obs::{log_error, Obs};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     log_error!(
-        "usage: dsolve <module.ml> [--quals <file>] [--mlq <file>] [--annot] [--annot-out <file>] [--stats] [--trace-out <file>] [--quiet] [--timeout <secs>] [--max-smt-queries <n>] [--jobs <n>]"
+        "usage: dsolve <module.ml> [--quals <file>] [--mlq <file>] [--annot] [--annot-out <file>] [--stats] [--trace-out <file>] [--quiet] [--timeout <secs>] [--max-smt-queries <n>] [--jobs <n>] [--certify] [--inject-fault <point[@N]>]"
     );
     ExitCode::from(3)
 }
@@ -48,6 +60,8 @@ fn main() -> ExitCode {
     let mut timeout: Option<u64> = None;
     let mut max_smt_queries: Option<u64> = None;
     let mut jobs: Option<usize> = None;
+    let mut certify = false;
+    let mut inject_fault: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -81,6 +95,11 @@ fn main() -> ExitCode {
             "--jobs" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
                 Some(n) if n > 0 => jobs = Some(n),
                 _ => return usage(),
+            },
+            "--certify" => certify = true,
+            "--inject-fault" => match it.next() {
+                Some(f) => inject_fault = Some(f.clone()),
+                None => return usage(),
             },
             "--help" | "-h" => {
                 usage();
@@ -129,6 +148,22 @@ fn main() -> ExitCode {
     if let Some(n) = jobs {
         job.config.jobs = n;
     }
+    job.config.smt.certify = certify;
+    // `--inject-fault` wins over the `DSOLVE_FAULT` environment variable.
+    let fault = {
+        let parsed = match &inject_fault {
+            Some(spec) => FaultPlan::parse(spec).map(Some),
+            None => FaultPlan::from_env(),
+        };
+        match parsed {
+            Ok(p) => p.map(std::sync::Arc::new),
+            Err(e) => {
+                log_error!("dsolve: {e}");
+                return ExitCode::from(3);
+            }
+        }
+    };
+    job.config.fault = fault.clone();
     let obs = match &trace_out {
         Some(path) => match Obs::with_trace(std::path::Path::new(path)) {
             Ok(o) => o,
@@ -140,6 +175,11 @@ fn main() -> ExitCode {
         None => Obs::new(),
     };
     job.config.obs = obs.clone();
+    if let Some(f) = &fault {
+        if f.fire(FaultPoint::TraceIo) {
+            obs.simulate_trace_io_failure();
+        }
+    }
 
     let outcome = job.run_isolated();
     // Flush the trace before reporting: every span guard is dropped by

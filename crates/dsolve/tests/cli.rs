@@ -209,6 +209,106 @@ fn trace_out_survives_forced_panic() {
 }
 
 #[test]
+fn trace_out_unwritable_path_is_clean_error() {
+    let dir = tempdir("tracebadpath");
+    write_temp(&dir, "m.ml", "let one = 1\n");
+    let bad = dir.join("no-such-dir").join("deeper").join("t.json");
+    let out = dsolve()
+        .arg(dir.join("m.ml"))
+        .arg("--trace-out")
+        .arg(&bad)
+        .output()
+        .unwrap();
+    // A clean CLI error: exit 3 with a pointed message, no panic.
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot open trace file"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn bad_inject_fault_spec_is_clean_error() {
+    let dir = tempdir("badfault");
+    write_temp(&dir, "m.ml", "let one = 1\n");
+    let out = dsolve()
+        .arg(dir.join("m.ml"))
+        .arg("--inject-fault")
+        .arg("nonesuch")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The error names the known fault points.
+    assert!(stderr.contains("worker-panic"), "{stderr}");
+}
+
+#[test]
+fn injected_trace_io_failure_leaves_verdict_intact() {
+    let dir = tempdir("traceiofault");
+    write_temp(
+        &dir,
+        "m.ml",
+        "let f x = assert (x >= 0); x\nlet use = f 1\n",
+    );
+    write_temp(&dir, "m.quals", "qualif N : 0 <= VV\n");
+    let trace = dir.join("m.trace.json");
+    let out = dsolve()
+        .arg(dir.join("m.ml"))
+        .arg("--trace-out")
+        .arg(&trace)
+        .arg("--inject-fault")
+        .arg("trace-io")
+        .output()
+        .unwrap();
+    // The writer failure is absorbed: verification is unaffected.
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SAFE"), "{stdout}");
+    // The truncated trace still parses (viewers tolerate it too).
+    dsolve_obs::trace::validate_trace_file(&trace).unwrap();
+}
+
+#[test]
+fn injected_query_timeout_degrades_to_unknown() {
+    let dir = tempdir("qtimeoutfault");
+    // No qualifiers: the first SMT query is the obligation itself, so
+    // `query-timeout@1` deterministically lands on it.
+    write_temp(
+        &dir,
+        "m.ml",
+        "let f x = assert (x >= 0); x\nlet use = f 1\n",
+    );
+    let out = dsolve()
+        .arg(dir.join("m.ml"))
+        .arg("--inject-fault")
+        .arg("query-timeout@1")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("UNKNOWN"), "{stdout}");
+    assert!(stdout.contains("injected query-timeout"), "{stdout}");
+}
+
+#[test]
+fn dsolve_fault_env_is_honored() {
+    let dir = tempdir("faultenv");
+    write_temp(
+        &dir,
+        "m.ml",
+        "let f x = assert (x >= 0); x\nlet use = f 1\n",
+    );
+    let out = dsolve()
+        .arg(dir.join("m.ml"))
+        .env("DSOLVE_FAULT", "query-timeout@1")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("UNKNOWN"), "{stdout}");
+}
+
+#[test]
 fn quiet_silences_progress_output() {
     let dir = tempdir("quiet");
     write_temp(&dir, "m.ml", "let one = assert (1 > 0)\n");

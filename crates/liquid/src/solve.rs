@@ -28,8 +28,8 @@ use crate::constraint::{LiquidError, SubC};
 use crate::env::{GlobalEnv, KEnv};
 use crate::rtype::{KVar, RefAtom};
 use dsolve_logic::{
-    deadline_expired, instantiate_all, Budget, Exhaustion, Outcome, Phase, Pred, Qualifier,
-    Resource, Symbol,
+    deadline_expired, instantiate_all, Budget, Exhaustion, FaultPlan, FaultPoint, Outcome, Phase,
+    Pred, Qualifier, Resource, Symbol,
 };
 use dsolve_obs::{log_debug, log_info, Obs, ObsPhase, QueryOrigin};
 use dsolve_smt::{QueryCache, SmtSolver, SolverConfig, Validity};
@@ -148,6 +148,10 @@ pub struct SolveConfig {
     /// Cloning the config shares the handle (it is an `Arc`), so one
     /// registry spans all phases of a verification job.
     pub obs: Obs,
+    /// Deterministic fault-injection plan (`--inject-fault` /
+    /// `DSOLVE_FAULT`), shared with every SMT solver this run creates so
+    /// occurrence counts span workers. `None` in production runs.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 /// Whether this run batches implications through incremental SMT
@@ -424,14 +428,33 @@ fn solve_sequential(
     let deadline = budget.deadline_from_now();
     let obs = config.obs.clone();
     let base = MetricsBaseline::capture(&obs);
-    let mut smt = SmtSolver::with_config(SolverConfig {
-        budget,
-        ..config.smt
-    });
-    // Pin the absolute deadline so the SMT clock does not restart at the
-    // first query.
-    smt.set_deadline(deadline);
-    smt.set_obs(obs.clone());
+    // Cache-poison injection: give the run a shared cache with one shard
+    // poisoned, exercising the lock-recovery path end to end.
+    let poison_cache = config
+        .fault
+        .as_ref()
+        .filter(|f| f.fire(FaultPoint::CachePoison))
+        .map(|_| {
+            let cache = QueryCache::shared();
+            cache.poison_all_shards();
+            cache
+        });
+    let make_solver = || {
+        let mut smt = SmtSolver::with_config(SolverConfig {
+            budget,
+            ..config.smt
+        });
+        // Pin the absolute deadline so the SMT clock does not restart at
+        // the first query.
+        smt.set_deadline(deadline);
+        smt.set_obs(obs.clone());
+        smt.set_fault(config.fault.clone());
+        if let Some(c) = &poison_cache {
+            smt.share_cache(Arc::clone(c));
+        }
+        smt
+    };
+    let mut smt = make_solver();
     let incremental = use_incremental(config);
     let mut exhaustion: Option<Exhaustion> = None;
     let fixpoint_start = Instant::now();
@@ -526,7 +549,43 @@ fn solve_sequential(
                 round,
                 worker: 0,
             }));
-            let weakened = weaken_constraint(genv, &subs[ci], &view, &mut smt, incremental);
+            // Injected worker panic: fires on the first constraint of
+            // round `at`, caught and quarantined like a real one. The
+            // `fired() == 1` guard keeps repeat polls in the same round
+            // from firing again (`fire_at` does not consume).
+            let inject = config.fault.as_ref().is_some_and(|f| {
+                f.fire_at(FaultPoint::WorkerPanic, round) && f.fired() == 1
+            });
+            let checked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if inject {
+                    panic!("injected worker panic (round {round})");
+                }
+                weaken_constraint(genv, &subs[ci], &view, &mut smt, incremental)
+            }));
+            let weakened = match checked {
+                Ok(w) => w,
+                Err(_) => {
+                    // Quarantine: conservatively weaken every κ this
+                    // constraint writes to ⊤ (sound — weakening is
+                    // monotone), taint the run, and rebuild the solver
+                    // in case the panic left it mid-session.
+                    obs.metrics().workers_quarantined.incr();
+                    exhaustion.get_or_insert(Exhaustion::with_detail(
+                        Phase::Fixpoint,
+                        Resource::Panic,
+                        format!(
+                            "constraint check panicked at [{}]; its κs weakened to true",
+                            subs[ci].origin
+                        ),
+                    ));
+                    smt = make_solver();
+                    subs[ci]
+                        .writes()
+                        .into_iter()
+                        .map(|k| (k, Vec::new()))
+                        .collect()
+                }
+            };
             for (k, kept) in weakened {
                 assignment.insert(k, kept);
                 for &r in readers.get(&k).map(Vec::as_slice).unwrap_or(&[]) {
@@ -577,6 +636,10 @@ fn solve_sequential(
     base.fill(&obs, &mut stats);
     stats.worker_queries = vec![smt.stats.solved_queries];
     stats.worker_checks = vec![stats.iterations];
+    if let Some(c) = &poison_cache {
+        obs.metrics().cache_poison_recoveries.add(c.poison_recoveries());
+    }
+    taint_refused_unsafe(&base, &obs, &errors, &mut exhaustion);
 
     Solution {
         assignment,
@@ -596,6 +659,7 @@ struct MetricsBaseline {
     hits: u64,
     sessions: u64,
     scoped: u64,
+    refused: u64,
 }
 
 impl MetricsBaseline {
@@ -607,7 +671,14 @@ impl MetricsBaseline {
             hits: m.smt_cache_hits.get(),
             sessions: m.smt_sessions.get(),
             scoped: m.smt_scoped_checks.get(),
+            refused: m.smt_refused.get(),
         }
+    }
+
+    /// Whether any SMT query was refused (expired deadline, exhausted
+    /// cap, or an injected `query-timeout`) since solve entry.
+    fn any_refused(&self, obs: &Obs) -> bool {
+        obs.metrics().smt_refused.get() > self.refused
     }
 
     /// Writes the registry deltas into `stats` — the metrics registry is
@@ -619,6 +690,30 @@ impl MetricsBaseline {
         stats.cache_lookups = m.smt_checks.get() - self.checks;
         stats.smt_sessions = m.smt_sessions.get() - self.sessions;
         stats.smt_scoped_checks = m.smt_scoped_checks.get() - self.scoped;
+    }
+}
+
+/// Degrades an `Unsafe`-bound run to `Unknown` when any SMT query was
+/// refused. A refused weakening query drops its qualifier — sound for
+/// inference, but the resulting assignment can be strictly weaker than
+/// the true fixpoint, so a failing obligation under it is not evidence
+/// of a bug. A clean run is unaffected: every kept qualifier and every
+/// obligation was genuinely proven, so `Safe` stands even after
+/// refusals.
+fn taint_refused_unsafe(
+    base: &MetricsBaseline,
+    obs: &Obs,
+    errors: &[LiquidError],
+    exhaustion: &mut Option<Exhaustion>,
+) {
+    if exhaustion.is_none() && !errors.is_empty() && base.any_refused(obs) {
+        *exhaustion = Some(Exhaustion::with_detail(
+            Phase::Fixpoint,
+            Resource::SmtQueries,
+            "refused SMT queries may have over-weakened the assignment; \
+             failed obligations are unreliable"
+                .to_string(),
+        ));
     }
 }
 
@@ -739,6 +834,11 @@ fn solve_parallel(
     let obs = config.obs.clone();
     let base = MetricsBaseline::capture(&obs);
     let cache = QueryCache::shared();
+    if let Some(f) = &config.fault {
+        if f.fire(FaultPoint::CachePoison) {
+            cache.poison_all_shards();
+        }
+    }
     let query_counter = Arc::new(AtomicU64::new(0));
     let make_solver = || {
         let mut smt = SmtSolver::with_config(SolverConfig {
@@ -749,6 +849,7 @@ fn solve_parallel(
         smt.share_cache(Arc::clone(&cache));
         smt.share_query_counter(Arc::clone(&query_counter));
         smt.set_obs(obs.clone());
+        smt.set_fault(config.fault.clone());
         smt
     };
 
@@ -834,6 +935,7 @@ fn solve_parallel(
         let snapshot = &assignment;
         let labels_ref = &labels;
         let obs_ref = &obs;
+        let fault_ref = &config.fault;
         let reports: Vec<WorkerReport> = std::thread::scope(|s| {
             let handles: Vec<_> = partitions
                 .iter()
@@ -841,6 +943,16 @@ fn solve_parallel(
                 .map(|(w, part)| {
                     let mut smt = make_solver();
                     s.spawn(move || {
+                        // Injected worker panic: worker 0 dies at the
+                        // start of round `at`, exercising the quarantine
+                        // path below.
+                        if w == 0
+                            && fault_ref
+                                .as_ref()
+                                .is_some_and(|f| f.fire_at(FaultPoint::WorkerPanic, round_no))
+                        {
+                            panic!("injected worker panic (round {round_no})");
+                        }
                         let mut local: HashMap<KVar, Vec<Pred>> = HashMap::new();
                         let mut report = WorkerReport {
                             checked: 0,
@@ -882,7 +994,36 @@ fn solve_parallel(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("fixpoint worker panicked"))
+                .zip(&partitions)
+                .map(|(h, part)| {
+                    h.join().unwrap_or_else(|_| {
+                        // A worker died (injected or real): quarantine
+                        // its partition. Every κ the partition writes is
+                        // conservatively weakened to ⊤ — sound, since
+                        // weakening is monotone — and the run is tainted
+                        // so the outcome degrades to Unknown rather than
+                        // claiming Safe from a partial fixpoint.
+                        obs_ref.metrics().workers_quarantined.incr();
+                        WorkerReport {
+                            checked: 0,
+                            queries: 0,
+                            weakened: part
+                                .iter()
+                                .flat_map(|&ci| {
+                                    writes[ci].iter().map(move |&k| (ci, k, Vec::new()))
+                                })
+                                .collect(),
+                            exhaustion: Some(Exhaustion::with_detail(
+                                Phase::Fixpoint,
+                                Resource::Panic,
+                                format!(
+                                    "fixpoint worker panicked; quarantined {} constraints",
+                                    part.len()
+                                ),
+                            )),
+                        }
+                    })
+                })
                 .collect()
         });
         drop(round_span);
@@ -976,11 +1117,25 @@ fn solve_parallel(
                 .collect();
             let mut merged = Vec::new();
             for (w, h) in handles.into_iter().enumerate() {
-                let (out, queries) = h.join().expect("obligation worker panicked");
-                if w < stats.worker_queries.len() {
-                    stats.worker_queries[w] += queries;
+                match h.join() {
+                    Ok((out, queries)) => {
+                        if w < stats.worker_queries.len() {
+                            stats.worker_queries[w] += queries;
+                        }
+                        merged.extend(out);
+                    }
+                    Err(_) => {
+                        // An obligation worker died: its chunk is
+                        // unchecked, so the run cannot claim Safe —
+                        // taint it and degrade to Unknown.
+                        obs.metrics().workers_quarantined.incr();
+                        exhaustion.get_or_insert(Exhaustion::with_detail(
+                            Phase::ObligationCheck,
+                            Resource::Panic,
+                            "obligation worker panicked; its chunk is unchecked".to_string(),
+                        ));
+                    }
                 }
-                merged.extend(out);
             }
             merged
         });
@@ -996,6 +1151,10 @@ fn solve_parallel(
 
     stats.obligation_time = obligation_start.elapsed();
     base.fill(&obs, &mut stats);
+    obs.metrics()
+        .cache_poison_recoveries
+        .add(cache.poison_recoveries());
+    taint_refused_unsafe(&base, &obs, &errors, &mut exhaustion);
 
     Solution {
         assignment,
@@ -1521,6 +1680,52 @@ mod tests {
         let e = sol.exhaustion.as_ref().expect("exhaustion recorded");
         assert_eq!(e.resource, dsolve_logic::Resource::FixpointIterations);
         assert!(sol.outcome().is_unknown());
+    }
+
+    #[test]
+    fn injected_worker_panic_degrades_sequentially() {
+        let (genv, kenv, subs) = diamond_case();
+        let config = SolveConfig {
+            fault: Some(Arc::new(FaultPlan::parse("worker-panic@1").unwrap())),
+            ..seq_config()
+        };
+        let sol = solve(&genv, &kenv, &subs, &quals(), &config);
+        let e = sol.exhaustion.as_ref().expect("panic taints the run");
+        assert_eq!(e.resource, Resource::Panic);
+        assert_eq!(e.phase, Phase::Fixpoint);
+        // The run degrades to Unknown — never a flipped definite verdict.
+        assert!(sol.outcome().is_unknown());
+        assert!(config.obs.metrics().workers_quarantined.get() >= 1);
+    }
+
+    #[test]
+    fn injected_worker_panic_quarantines_parallel_partition() {
+        let (genv, kenv, subs) = diamond_case();
+        let config = SolveConfig {
+            jobs: 4,
+            fault: Some(Arc::new(FaultPlan::parse("worker-panic@1").unwrap())),
+            ..SolveConfig::default()
+        };
+        let sol = solve(&genv, &kenv, &subs, &quals(), &config);
+        let e = sol.exhaustion.as_ref().expect("panic taints the run");
+        assert_eq!(e.resource, Resource::Panic);
+        assert!(sol.outcome().is_unknown());
+        assert!(config.obs.metrics().workers_quarantined.get() >= 1);
+    }
+
+    #[test]
+    fn injected_cache_poison_is_recovered_transparently() {
+        let (genv, kenv, subs) = diamond_case();
+        let clean = solve(&genv, &kenv, &subs, &quals(), &seq_config());
+        let config = SolveConfig {
+            jobs: 2,
+            fault: Some(Arc::new(FaultPlan::parse("cache-poison").unwrap())),
+            ..SolveConfig::default()
+        };
+        let sol = solve(&genv, &kenv, &subs, &quals(), &config);
+        // Poisoned shards recover; the verdict is unchanged.
+        assert_eq!(sol.outcome(), clean.outcome());
+        assert!(config.obs.metrics().cache_poison_recoveries.get() >= 1);
     }
 
     #[test]

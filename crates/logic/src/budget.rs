@@ -74,6 +74,9 @@ pub enum Resource {
     FixpointIterations,
     /// The job panicked and was isolated by the driver.
     Panic,
+    /// An independent replay of the verdict's certificate failed, so the
+    /// verdict was withdrawn rather than reported unchecked.
+    Certification,
 }
 
 impl fmt::Display for Resource {
@@ -87,6 +90,7 @@ impl fmt::Display for Resource {
             Resource::SaturationLemmas => "saturation-lemmas",
             Resource::FixpointIterations => "fixpoint-iterations",
             Resource::Panic => "panic",
+            Resource::Certification => "certification",
         };
         f.write_str(s)
     }

@@ -32,6 +32,7 @@
 
 mod budget;
 mod expr;
+mod fault;
 mod parse;
 mod pred;
 mod qualifier;
@@ -42,6 +43,7 @@ mod symbol;
 
 pub use budget::{deadline_expired, Budget, Exhaustion, Outcome, Phase, Resource};
 pub use expr::{Binop, Expr};
+pub use fault::{FaultPlan, FaultPoint};
 pub use parse::{parse_expr, parse_pred, ParsePredError};
 pub use pred::{Pred, Rel};
 pub use qualifier::{instantiate_all, Qualifier};

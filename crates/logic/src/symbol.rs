@@ -42,10 +42,27 @@ fn interner() -> &'static Mutex<Interner> {
     })
 }
 
+/// Times the interner lock was found poisoned and recovered.
+static POISON_RECOVERIES: AtomicU64 = AtomicU64::new(0);
+
+/// Locks the interner, recovering from poison.
+///
+/// The interner is append-only: `map` and `strings` are each updated by a
+/// single infallible push/insert, so a panic elsewhere on a thread holding
+/// the lock can never leave them torn. Recovering with `into_inner` is
+/// therefore safe, and keeps one panicking worker from taking down every
+/// later `Symbol` operation process-wide.
+fn lock_interner() -> std::sync::MutexGuard<'static, Interner> {
+    interner().lock().unwrap_or_else(|e| {
+        POISON_RECOVERIES.fetch_add(1, Ordering::Relaxed);
+        e.into_inner()
+    })
+}
+
 impl Symbol {
     /// Interns `name` and returns its symbol.
     pub fn new(name: &str) -> Symbol {
-        let mut i = interner().lock().expect("symbol interner poisoned");
+        let mut i = lock_interner();
         if let Some(&id) = i.map.get(name) {
             return Symbol(id);
         }
@@ -60,8 +77,14 @@ impl Symbol {
 
     /// Returns the interned string.
     pub fn as_str(self) -> &'static str {
-        let i = interner().lock().expect("symbol interner poisoned");
+        let i = lock_interner();
         i.strings[self.0 as usize]
+    }
+
+    /// How many times the global interner lock was found poisoned and
+    /// recovered (a robustness diagnostic; normally zero).
+    pub fn interner_poison_recoveries() -> u64 {
+        POISON_RECOVERIES.load(Ordering::Relaxed)
     }
 
     /// Returns a fresh symbol guaranteed distinct from all previous symbols,
@@ -148,6 +171,20 @@ mod tests {
         assert!(Symbol::star(3).is_star());
         assert_ne!(Symbol::star(0), Symbol::star(1));
         assert!(!Symbol::new("x").is_star());
+    }
+
+    #[test]
+    fn interner_survives_poisoning_panic() {
+        // Poison the global lock by panicking while holding it, then
+        // show that interning still works afterwards.
+        let _ = std::thread::spawn(|| {
+            let _guard = lock_interner();
+            panic!("poison the interner on purpose");
+        })
+        .join();
+        let s = Symbol::new("post-poison");
+        assert_eq!(s.as_str(), "post-poison");
+        assert!(Symbol::interner_poison_recoveries() >= 1);
     }
 
     #[test]

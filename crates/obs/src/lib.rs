@@ -135,6 +135,15 @@ impl Obs {
         self.inner.enabled
     }
 
+    /// Simulates a trace-writer I/O failure from now on (no-op without a
+    /// sink) — the `trace-io` fault point. Subsequent events are dropped
+    /// the same way a really failed write is.
+    pub fn simulate_trace_io_failure(&self) {
+        if let Some(t) = &self.inner.trace {
+            t.simulate_io_failure();
+        }
+    }
+
     /// Closes the trace array (no-op without a sink).
     pub fn finish(&self) {
         if let Some(t) = &self.inner.trace {
@@ -239,6 +248,10 @@ impl Obs {
             refused: m.smt_refused.get(),
             sessions: m.smt_sessions.get(),
             scoped_checks: m.smt_scoped_checks.get(),
+            certs_checked: m.smt_certs_checked.get(),
+            certs_failed: m.smt_certs_failed.get(),
+            cache_poison_recoveries: m.cache_poison_recoveries.get(),
+            workers_quarantined: m.workers_quarantined.get(),
             fixpoint_iterations: m.fixpoint_iterations.get(),
             fixpoint_rounds: m.fixpoint_rounds.get(),
             phase_ns,
@@ -320,6 +333,14 @@ pub struct Snapshot {
     pub sessions: u64,
     /// Scoped checks inside sessions.
     pub scoped_checks: u64,
+    /// Verdicts whose certificate replayed successfully (`--certify`).
+    pub certs_checked: u64,
+    /// Verdicts downgraded because their certificate failed (`--certify`).
+    pub certs_failed: u64,
+    /// Query-cache shard locks found poisoned and recovered.
+    pub cache_poison_recoveries: u64,
+    /// Workers quarantined after a panic (partitions weakened).
+    pub workers_quarantined: u64,
     /// Fixpoint weakening iterations.
     pub fixpoint_iterations: u64,
     /// Fixpoint rounds.
@@ -384,6 +405,18 @@ impl Snapshot {
         let _ = writeln!(s, "{inner}\"refused\": {},", self.refused);
         let _ = writeln!(s, "{inner}\"sessions\": {},", self.sessions);
         let _ = writeln!(s, "{inner}\"scoped_checks\": {},", self.scoped_checks);
+        let _ = writeln!(s, "{inner}\"certs_checked\": {},", self.certs_checked);
+        let _ = writeln!(s, "{inner}\"certs_failed\": {},", self.certs_failed);
+        let _ = writeln!(
+            s,
+            "{inner}\"cache_poison_recoveries\": {},",
+            self.cache_poison_recoveries
+        );
+        let _ = writeln!(
+            s,
+            "{inner}\"workers_quarantined\": {},",
+            self.workers_quarantined
+        );
         let _ = writeln!(
             s,
             "{inner}\"fixpoint_iterations\": {},",

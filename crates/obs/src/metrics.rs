@@ -260,6 +260,17 @@ pub struct Metrics {
     pub smt_sessions: Counter,
     /// Push/pop-scoped checks inside incremental sessions.
     pub smt_scoped_checks: Counter,
+    /// Definite verdicts whose certificate replayed successfully
+    /// (`--certify` only).
+    pub smt_certs_checked: Counter,
+    /// Definite verdicts downgraded to `Unknown` because their
+    /// certificate failed to replay (`--certify` only).
+    pub smt_certs_failed: Counter,
+    /// Query-cache shard locks found poisoned and recovered.
+    pub cache_poison_recoveries: Counter,
+    /// Fixpoint/obligation workers that panicked and were quarantined
+    /// (their partitions conservatively weakened).
+    pub workers_quarantined: Counter,
     /// Fixpoint weakening iterations (constraint re-checks).
     pub fixpoint_iterations: Counter,
     /// Fixpoint rounds (BFS levels sequentially, barriers in parallel).

@@ -89,6 +89,8 @@ struct TraceWriter {
 pub struct TraceSink {
     w: Mutex<TraceWriter>,
     start: Instant,
+    fail_io: std::sync::atomic::AtomicBool,
+    dropped: AtomicU64,
 }
 
 impl TraceSink {
@@ -104,6 +106,8 @@ impl TraceSink {
                 finished: false,
             }),
             start: Instant::now(),
+            fail_io: std::sync::atomic::AtomicBool::new(false),
+            dropped: AtomicU64::new(0),
         };
         sink.emit_raw(
             "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
@@ -117,7 +121,24 @@ impl TraceSink {
         t.saturating_duration_since(self.start).as_micros() as u64
     }
 
+    /// Simulates a trace-writer I/O failure (the `trace-io` fault
+    /// point): every subsequent event write and the closing bracket are
+    /// dropped, exactly as a really failed `write` is. Verification must
+    /// be unaffected — the trace file is simply truncated.
+    pub fn simulate_io_failure(&self) {
+        self.fail_io.store(true, Ordering::Relaxed);
+    }
+
+    /// Events dropped because the writer was (simulated-)failing.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
     fn emit_raw(&self, line: &str) {
+        if self.fail_io.load(Ordering::Relaxed) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let mut w = self.w.lock().unwrap_or_else(|e| e.into_inner());
         if w.finished {
             return;
@@ -206,6 +227,9 @@ impl TraceSink {
             return;
         }
         w.finished = true;
+        if self.fail_io.load(Ordering::Relaxed) {
+            return;
+        }
         let _ = w.out.write_all(b"\n]\n");
         let _ = w.out.flush();
     }

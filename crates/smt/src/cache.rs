@@ -27,8 +27,11 @@ use std::sync::{Arc, Mutex};
 /// realistic worker count keeps contention negligible.
 const SHARDS: usize = 64;
 
-/// One shard: structural hash → entries colliding on that hash.
-type Shard = Mutex<HashMap<u64, Vec<(Pred, Pred, bool)>>>;
+/// One shard's map: structural hash → entries colliding on that hash.
+type ShardMap = HashMap<u64, Vec<(Pred, Pred, bool)>>;
+
+/// One independently locked shard.
+type Shard = Mutex<ShardMap>;
 
 /// A concurrent memo table for validity queries.
 ///
@@ -53,6 +56,7 @@ pub struct QueryCache {
     hits: AtomicU64,
     lookups: AtomicU64,
     entries: AtomicU64,
+    poisoned: AtomicU64,
 }
 
 impl Default for QueryCache {
@@ -69,7 +73,23 @@ impl QueryCache {
             hits: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
             entries: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
         }
+    }
+
+    /// Locks shard `i`, recovering from poison.
+    ///
+    /// A cache shard only ever sees infallible map reads and pushes, so a
+    /// panic on a thread that happened to hold the lock cannot leave a
+    /// torn entry — the worst case is a missing insert. Recovering with
+    /// `into_inner` (counted in [`QueryCache::poison_recoveries`]) keeps
+    /// one quarantined worker's panic from cascading into every later
+    /// query on the shared cache.
+    fn lock_shard(&self, i: usize) -> std::sync::MutexGuard<'_, ShardMap> {
+        self.shards[i].lock().unwrap_or_else(|e| {
+            self.poisoned.fetch_add(1, Ordering::Relaxed);
+            e.into_inner()
+        })
     }
 
     /// Creates an empty cache behind a shareable handle.
@@ -89,9 +109,7 @@ impl QueryCache {
     pub fn get(&self, antecedent: &Pred, consequent: &Pred) -> Option<bool> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let key = QueryCache::key(antecedent, consequent);
-        let shard = self.shards[(key as usize) % SHARDS]
-            .lock()
-            .expect("query cache shard poisoned");
+        let shard = self.lock_shard((key as usize) % SHARDS);
         let found = shard.get(&key).and_then(|bucket| {
             bucket
                 .iter()
@@ -109,9 +127,7 @@ impl QueryCache {
     /// answer and the duplicate is skipped.
     pub fn insert(&self, antecedent: &Pred, consequent: &Pred, valid: bool) {
         let key = QueryCache::key(antecedent, consequent);
-        let mut shard = self.shards[(key as usize) % SHARDS]
-            .lock()
-            .expect("query cache shard poisoned");
+        let mut shard = self.lock_shard((key as usize) % SHARDS);
         let bucket = shard.entry(key).or_default();
         if bucket
             .iter()
@@ -141,6 +157,32 @@ impl QueryCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Times a shard lock was found poisoned and recovered.
+    pub fn poison_recoveries(&self) -> u64 {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// Poisons every shard (see [`QueryCache::poison_shard`]), so the
+    /// first cache access of any query recovers a poisoned lock. Used by
+    /// the `cache-poison` fault point, where poisoning one arbitrary
+    /// shard could miss a short run's entire key range.
+    pub fn poison_all_shards(&self) {
+        for i in 0..SHARDS {
+            self.poison_shard(i);
+        }
+    }
+
+    /// Deliberately poisons shard `i % SHARDS` by panicking while holding
+    /// its lock (the panic is caught here). Fault-injection hook for the
+    /// `cache-poison` fault point and the recovery tests.
+    pub fn poison_shard(&self, i: usize) {
+        let shard = &self.shards[i % SHARDS];
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            panic!("injected cache-shard poison");
+        }));
     }
 }
 
@@ -172,6 +214,22 @@ mod tests {
         cache.insert(&a, &c, true);
         cache.insert(&a, &c, true);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers() {
+        let cache = QueryCache::new();
+        let a = parse_pred("x < y").unwrap();
+        let c = parse_pred("x <= y").unwrap();
+        cache.insert(&a, &c, true);
+        // Poison every shard so the one holding (a, c) is hit for sure.
+        for i in 0..64 {
+            cache.poison_shard(i);
+        }
+        assert_eq!(cache.get(&a, &c), Some(true), "entry survives poison");
+        cache.insert(&c, &a, false);
+        assert_eq!(cache.get(&c, &a), Some(false), "inserts work after poison");
+        assert!(cache.poison_recoveries() >= 1);
     }
 
     #[test]

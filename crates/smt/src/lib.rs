@@ -47,6 +47,7 @@
 
 mod arrays;
 mod cache;
+mod certify;
 mod cnf;
 mod euf;
 mod rational;

@@ -56,11 +56,21 @@ pub(crate) struct Session {
     /// Like `choice`, but set only by retained (lemma) clauses; pops
     /// restore `choice` to its push-time value OR'd with this.
     lemma_choice: bool,
+    /// Whether to independently certify definite verdicts (replaying
+    /// `Sat` models through the predicate evaluator and `Unsat` theory
+    /// cores through the theory stack).
+    certify: bool,
+    /// The ite-eliminated form of each encoded assertion, in encoding
+    /// order (`elim.len() == encoded_upto`). Only maintained under
+    /// `certify`: it is the formula the `Sat`-model evaluator replays,
+    /// since the raw assertions may contain `ite` terms the encoder
+    /// rewrote away.
+    elim: Vec<Pred>,
 }
 
 impl Session {
     /// Creates an empty session over (a clone of) `env`.
-    pub(crate) fn new(env: SortEnv, array_axioms: bool) -> Session {
+    pub(crate) fn new(env: SortEnv, array_axioms: bool, certify: bool) -> Session {
         Session {
             env,
             atoms: Atoms::new(),
@@ -73,6 +83,23 @@ impl Session {
             lemma_seen: HashSet::new(),
             choice: false,
             lemma_choice: false,
+            certify,
+            elim: Vec::new(),
+        }
+    }
+
+    /// The session's sort environment (extended by `ite` definitions).
+    pub(crate) fn env(&self) -> &SortEnv {
+        &self.env
+    }
+
+    /// The asserted conjunction, for re-solving from scratch when the
+    /// incremental path is abandoned (fault-injection retries).
+    pub(crate) fn conjunction(&self) -> Pred {
+        match self.asserted.len() {
+            0 => Pred::True,
+            1 => self.asserted[0].clone(),
+            _ => Pred::and(self.asserted.clone()),
         }
     }
 
@@ -94,6 +121,7 @@ impl Session {
         let (mark, choice) = self.scopes.pop().expect("pop without matching push");
         self.asserted.truncate(mark);
         self.encoded_upto = self.encoded_upto.min(mark);
+        self.elim.truncate(self.encoded_upto);
         self.sat.pop_scope();
         self.choice = choice || self.lemma_choice;
     }
@@ -134,6 +162,9 @@ impl Session {
             let p = self.asserted[self.encoded_upto].clone();
             self.encoded_upto += 1;
             let p = eliminate_ite(&p, &mut self.env);
+            if self.certify {
+                self.elim.push(p.clone());
+            }
             let unit = encode_incremental(&p, &mut self.atoms, &self.env, &mut self.ctx);
             self.grow_sat();
             for c in unit.clauses {
@@ -227,13 +258,25 @@ impl Session {
         };
 
         let minimize = self.choice;
+        // Certificate material for an eventual `Unsat`: the literal sets
+        // behind every theory blocking clause learned in this check.
+        let mut cores: Vec<Vec<(AtomId, bool)>> = Vec::new();
         let mut conflicts = 0u64;
         loop {
             let sat_verdict_raw = theory_timer::time(TheoryKind::Sat, || {
                 self.sat.solve_within(deadline, budget.max_sat_conflicts)
             });
             match sat_verdict_raw {
-                SatResult::Unsat => return SmtResult::Unsat,
+                SatResult::Unsat => {
+                    if self.certify {
+                        if let Err(why) =
+                            crate::certify::certify_unsat(&self.atoms, &cores, &theory_budget)
+                        {
+                            return crate::solver::certification_unknown(why);
+                        }
+                    }
+                    return SmtResult::Unsat;
+                }
                 SatResult::Unknown => {
                     let resource = if deadline_expired(deadline) {
                         Resource::Deadline
@@ -252,12 +295,44 @@ impl Session {
                         .collect();
                     stats.theory_checks += 1;
                     match check_assignment(&self.atoms, &assignment, minimize, &theory_budget) {
-                        TheoryResult::Sat => return sat_verdict(saturation_truncated),
+                        TheoryResult::Sat => {
+                            let verdict = sat_verdict(saturation_truncated);
+                            if self.certify && verdict == SmtResult::Sat {
+                                // Every asserted (ite-eliminated) predicate
+                                // must hold under the model.
+                                for q in &self.elim {
+                                    match crate::certify::eval_pred(
+                                        q,
+                                        &mut self.atoms,
+                                        &self.env,
+                                        &assignment,
+                                    ) {
+                                        Some(true) => {}
+                                        Some(false) => {
+                                            return crate::solver::certification_unknown(
+                                                "countermodel does not satisfy an asserted predicate"
+                                                    .into(),
+                                            );
+                                        }
+                                        None => {
+                                            return crate::solver::certification_unknown(
+                                                "countermodel leaves an asserted predicate undetermined"
+                                                    .into(),
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                            return verdict;
+                        }
                         TheoryResult::Unknown(resource) => {
                             return SmtResult::Unknown(Exhaustion::new(Phase::Simplex, resource));
                         }
                         TheoryResult::Unsat(core) => {
                             stats.theory_conflicts += 1;
+                            if self.certify {
+                                cores.push(core.iter().map(|&ix| assignment[ix]).collect());
+                            }
                             conflicts += 1;
                             if conflicts > budget.max_theory_conflicts {
                                 return SmtResult::Unknown(Exhaustion::with_detail(

@@ -13,9 +13,10 @@ use crate::sat::{CdclSolver, Lit, SatResult};
 use crate::sets::{canonicalize_sets, set_saturation_lemmas};
 use crate::theory::{check_assignment, TheoryBudget, TheoryResult};
 use dsolve_logic::{
-    deadline_expired, Budget, Exhaustion, Expr, Phase, Pred, Resource, Sort, SortEnv, Symbol,
+    deadline_expired, Budget, Exhaustion, Expr, FaultPlan, FaultPoint, Phase, Pred, Resource,
+    Sort, SortEnv, Symbol,
 };
-use dsolve_obs::{theory as theory_timer, Obs, QueryOrigin, TheoryKind};
+use dsolve_obs::{log_error, theory as theory_timer, Obs, QueryOrigin, TheoryKind};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -58,6 +59,12 @@ pub struct SolverConfig {
     /// Exhausting any of them yields a reported `Unknown`, never a
     /// silently guessed verdict.
     pub budget: Budget,
+    /// Independently certify every definite verdict: replay `Sat`
+    /// countermodels through a structural predicate evaluator and `Unsat`
+    /// theory cores through the theory stack. A certificate that fails to
+    /// replay downgrades the answer to `Unknown` with
+    /// [`Resource::Certification`]; it never flips it.
+    pub certify: bool,
 }
 
 impl Default for SolverConfig {
@@ -66,6 +73,7 @@ impl Default for SolverConfig {
             cache: true,
             array_axioms: true,
             budget: Budget::default(),
+            certify: false,
         }
     }
 }
@@ -138,6 +146,10 @@ pub struct SmtSolver {
     /// Provenance stamped on every subsequently solved query (the
     /// liquid solver sets it before discharging each constraint).
     origin: Option<QueryOrigin>,
+    /// Deterministic fault-injection plan (`--inject-fault`). `None` in
+    /// production; threaded explicitly instead of process-global so
+    /// concurrent solves never observe each other's faults.
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for SmtSolver {
@@ -152,6 +164,7 @@ impl Default for SmtSolver {
             session: None,
             obs: Obs::off(),
             origin: None,
+            fault: None,
         }
     }
 }
@@ -210,6 +223,22 @@ impl SmtSolver {
     /// constraint so query cost rolls up per program location.
     pub fn set_origin(&mut self, origin: Option<QueryOrigin>) {
         self.origin = origin;
+    }
+
+    /// Installs a deterministic fault-injection plan (`None` clears it).
+    pub fn set_fault(&mut self, fault: Option<Arc<FaultPlan>>) {
+        self.fault = fault;
+    }
+
+    /// Whether `point` fires now under the installed plan (occurrence
+    /// counted; always `false` with no plan).
+    fn fault_fires(&self, point: FaultPoint) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.fire(point))
+    }
+
+    /// The injected verdict for the `query-timeout` fault point.
+    fn injected_timeout() -> Exhaustion {
+        Exhaustion::with_detail(Phase::Smt, Resource::Deadline, "injected query-timeout")
     }
 
     /// Queries charged so far against the (possibly shared) cap.
@@ -291,16 +320,31 @@ impl SmtSolver {
             self.obs.metrics().smt_refused.incr();
             return Validity::Unknown(e);
         }
+        if self.fault_fires(FaultPoint::QueryTimeout) {
+            self.obs.metrics().smt_refused.incr();
+            return Validity::Unknown(Self::injected_timeout());
+        }
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.stats.solved_queries += 1;
         self.obs.metrics().smt_queries.incr();
         let qstart = Instant::now();
         let negated = Pred::and(vec![antecedent.clone(), Pred::not(consequent.clone())]);
         let verdict = self.check_sat_inner(env, &negated);
+        self.note_certification(&verdict);
         self.obs
             .record_query(self.origin.as_ref(), qstart, validity_name(&verdict));
-        // Only definite answers are cached: an `Unknown` under one budget
-        // may well be decidable under a larger one.
+        self.settle_validity(antecedent, consequent, verdict)
+    }
+
+    /// Maps a solved negation verdict to a [`Validity`], caching definite
+    /// answers. (Only definite answers are cached: an `Unknown` under one
+    /// budget may well be decidable under a larger one.)
+    fn settle_validity(
+        &mut self,
+        antecedent: &Pred,
+        consequent: &Pred,
+        verdict: SmtResult,
+    ) -> Validity {
         match verdict {
             SmtResult::Unsat => {
                 if self.config.cache {
@@ -318,6 +362,34 @@ impl SmtSolver {
         }
     }
 
+    /// Rolls a certification outcome into metrics, logging failures with
+    /// query provenance. No-op unless `certify` is on.
+    fn note_certification(&self, verdict: &SmtResult) {
+        if !self.config.certify {
+            return;
+        }
+        match verdict {
+            SmtResult::Sat | SmtResult::Unsat => {
+                self.obs.metrics().smt_certs_checked.incr();
+            }
+            SmtResult::Unknown(e) if e.resource == Resource::Certification => {
+                self.obs.metrics().smt_certs_failed.incr();
+                match &self.origin {
+                    Some(o) => log_error!(
+                        "certification failed for constraint {} ({}, round {}, worker {}): {}",
+                        o.constraint,
+                        o.label,
+                        o.round,
+                        o.worker,
+                        e.detail
+                    ),
+                    None => log_error!("certification failed: {}", e.detail),
+                }
+            }
+            SmtResult::Unknown(_) => {}
+        }
+    }
+
     /// Decides satisfiability of `p` under `env`, reporting `Unknown`
     /// when a budget runs out.
     pub fn check_sat(&mut self, env: &SortEnv, p: &Pred) -> SmtResult {
@@ -327,12 +399,17 @@ impl SmtSolver {
             self.obs.metrics().smt_refused.incr();
             return SmtResult::Unknown(e);
         }
+        if self.fault_fires(FaultPoint::QueryTimeout) {
+            self.obs.metrics().smt_refused.incr();
+            return SmtResult::Unknown(Self::injected_timeout());
+        }
         self.stats.sat_queries += 1;
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.stats.solved_queries += 1;
         self.obs.metrics().smt_queries.incr();
         let qstart = Instant::now();
         let verdict = self.check_sat_inner(env, p);
+        self.note_certification(&verdict);
         self.obs
             .record_query(self.origin.as_ref(), qstart, smt_name(&verdict));
         verdict
@@ -371,6 +448,7 @@ impl SmtSolver {
         self.session = Some(Box::new(crate::session::Session::new(
             env.clone(),
             self.config.array_axioms,
+            self.config.certify,
         )));
         self.stats.sessions += 1;
         self.obs.metrics().smt_sessions.incr();
@@ -448,7 +526,17 @@ impl SmtSolver {
             .take()
             .expect("check_incremental: no active incremental session");
         let qstart = Instant::now();
-        let verdict = session.check(&budget, deadline, &mut self.stats);
+        let verdict = if self.fault_fires(FaultPoint::SessionFail) {
+            // Injected mid-scope session failure: answer this query by
+            // retrying once from scratch over the session's asserted
+            // conjunction (the session itself survives for later checks).
+            let conj = session.conjunction();
+            let env = session.env().clone();
+            self.check_sat_inner(&env, &conj)
+        } else {
+            session.check(&budget, deadline, &mut self.stats)
+        };
+        self.note_certification(&verdict);
         self.obs
             .record_query(self.origin.as_ref(), qstart, smt_name(&verdict));
         self.session = Some(session);
@@ -492,16 +580,37 @@ impl SmtSolver {
                 out.push(Validity::Unknown(e));
                 continue;
             }
+            if self.fault_fires(FaultPoint::QueryTimeout) {
+                self.obs.metrics().smt_refused.incr();
+                out.push(Validity::Unknown(Self::injected_timeout()));
+                continue;
+            }
             self.queries.fetch_add(1, Ordering::Relaxed);
             self.stats.solved_queries += 1;
             self.obs.metrics().smt_queries.incr();
             let deadline = self.effective_deadline();
+            if self.fault_fires(FaultPoint::SessionFail) {
+                // Injected session failure mid-batch: drop the shared
+                // session (later consequents rebuild it) and retry this
+                // query once from scratch before giving anything up.
+                session = None;
+                let qstart = Instant::now();
+                let negated =
+                    Pred::and(vec![antecedent.clone(), Pred::not(consequent.clone())]);
+                let verdict = self.check_sat_inner(env, &negated);
+                self.note_certification(&verdict);
+                self.obs
+                    .record_query(self.origin.as_ref(), qstart, validity_name(&verdict));
+                out.push(self.settle_validity(antecedent, consequent, verdict));
+                continue;
+            }
             if session.is_none() {
                 self.stats.sessions += 1;
                 self.obs.metrics().smt_sessions.incr();
                 let mut s = Box::new(crate::session::Session::new(
                     env.clone(),
                     self.config.array_axioms,
+                    self.config.certify,
                 ));
                 s.assert_pred(antecedent);
                 session = Some(s);
@@ -514,23 +623,10 @@ impl SmtSolver {
             s.assert_pred(&Pred::not(consequent.clone()));
             let verdict = s.check(&budget, deadline, &mut self.stats);
             s.pop();
+            self.note_certification(&verdict);
             self.obs
                 .record_query(self.origin.as_ref(), qstart, validity_name(&verdict));
-            out.push(match verdict {
-                SmtResult::Unsat => {
-                    if self.config.cache {
-                        self.cache.insert(antecedent, consequent, true);
-                    }
-                    Validity::Valid
-                }
-                SmtResult::Sat => {
-                    if self.config.cache {
-                        self.cache.insert(antecedent, consequent, false);
-                    }
-                    Validity::Invalid
-                }
-                SmtResult::Unknown(e) => Validity::Unknown(e),
-            });
+            out.push(self.settle_validity(antecedent, consequent, verdict));
         }
         out
     }
@@ -590,13 +686,26 @@ impl SmtSolver {
         // model is unique, so core minimization (whose only purpose is a
         // tighter blocking clause) is wasted work.
         let minimize = sat_has_choice(&cnf_clauses_snapshot);
+        let certify = self.config.certify;
+        // Certificate material for an eventual `Unsat`: the literal sets
+        // behind every theory blocking clause.
+        let mut cores: Vec<Vec<(crate::AtomId, bool)>> = Vec::new();
         let mut conflicts = 0u64;
         loop {
             let sat_verdict_raw = theory_timer::time(TheoryKind::Sat, || {
                 sat.solve_within(deadline, budget.max_sat_conflicts)
             });
             match sat_verdict_raw {
-                SatResult::Unsat => return SmtResult::Unsat,
+                SatResult::Unsat => {
+                    if certify {
+                        if let Err(why) =
+                            crate::certify::certify_unsat(&atoms, &cores, &theory_budget)
+                        {
+                            return certification_unknown(why);
+                        }
+                    }
+                    return SmtResult::Unsat;
+                }
                 SatResult::Unknown => {
                     let resource = if deadline_expired(deadline) {
                         Resource::Deadline
@@ -614,7 +723,20 @@ impl SmtSolver {
                         .collect();
                     self.stats.theory_checks += 1;
                     match check_assignment(&atoms, &assignment, minimize, &theory_budget) {
-                        TheoryResult::Sat => return sat_verdict(saturation_truncated),
+                        TheoryResult::Sat => {
+                            let verdict = sat_verdict(saturation_truncated);
+                            if certify && verdict == SmtResult::Sat {
+                                if let Err(why) = crate::certify::certify_sat(
+                                    &p,
+                                    &mut atoms,
+                                    &env,
+                                    &assignment,
+                                ) {
+                                    return certification_unknown(why);
+                                }
+                            }
+                            return verdict;
+                        }
                         TheoryResult::Unknown(resource) => {
                             return SmtResult::Unknown(Exhaustion::new(
                                 Phase::Simplex,
@@ -623,6 +745,9 @@ impl SmtSolver {
                         }
                         TheoryResult::Unsat(core) => {
                             self.stats.theory_conflicts += 1;
+                            if certify {
+                                cores.push(core.iter().map(|&ix| assignment[ix]).collect());
+                            }
                             conflicts += 1;
                             if conflicts > budget.max_theory_conflicts {
                                 return SmtResult::Unknown(Exhaustion::with_detail(
@@ -652,6 +777,15 @@ impl SmtSolver {
 /// clause with more than one literal).
 fn sat_has_choice(clause_lens: &[usize]) -> bool {
     clause_lens.iter().any(|&l| l > 1)
+}
+
+/// The downgraded verdict for a certificate that failed to replay.
+pub(crate) fn certification_unknown(why: String) -> SmtResult {
+    SmtResult::Unknown(Exhaustion::with_detail(
+        Phase::Smt,
+        Resource::Certification,
+        why,
+    ))
 }
 
 /// Trace-event verdict name for a validity query decided by refuting

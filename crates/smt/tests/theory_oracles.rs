@@ -5,8 +5,11 @@
 //! Case counts are deliberately small so `cargo test` stays fast; build
 //! with `--features slow-proptest` for a deeper local run.
 
-use dsolve_logic::Sort;
-use dsolve_smt::{Euf, EufResult, LpResult, Rat, Simplex, Term, TermArena, TermId};
+use dsolve_logic::{Expr, Pred, Rel, Sort, SortEnv, Symbol};
+use dsolve_smt::{
+    Euf, EufResult, LpResult, Rat, Simplex, SmtSolver, SolverConfig, Term, TermArena, TermId,
+    Validity,
+};
 use proptest::prelude::*;
 
 #[cfg(feature = "slow-proptest")]
@@ -326,5 +329,125 @@ proptest! {
         prop_assert_eq!(euf.check(&arena), naive_closure(&arena, &all, &nes));
         euf.pop();
         prop_assert_eq!(euf.check(&arena), base_verdict, "verdict changed after pop");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Verdict certification vs brute force on boxed linear implications.
+// ---------------------------------------------------------------------
+
+const IMP_VARS: [&str; 3] = ["x", "y", "z"];
+
+fn imp_env() -> SortEnv {
+    let mut env = SortEnv::new();
+    for v in IMP_VARS {
+        env.bind(Symbol::new(v), Sort::Int);
+    }
+    env
+}
+
+/// A random linear atom `a·x + b·y + c·z + d REL 0`.
+fn arb_linear_atom() -> impl Strategy<Value = (Vec<i64>, i64, Rel)> {
+    (
+        prop::collection::vec(-3i64..=3, IMP_VARS.len()),
+        -6i64..=6,
+        prop_oneof![Just(Rel::Le), Just(Rel::Lt), Just(Rel::Eq), Just(Rel::Ne)],
+    )
+}
+
+fn linear_pred(coeffs: &[i64], d: i64, rel: Rel) -> Pred {
+    let mut e = Expr::int(d);
+    for (c, v) in coeffs.iter().zip(IMP_VARS) {
+        e = e.add(Expr::int(*c).mul(Expr::var(v)));
+    }
+    Pred::Atom(rel, e, Expr::int(0))
+}
+
+fn eval_linear(coeffs: &[i64], d: i64, rel: Rel, vals: &[i64; 3]) -> bool {
+    let s: i64 = d + coeffs.iter().zip(vals).map(|(c, v)| c * v).sum::<i64>();
+    match rel {
+        Rel::Le => s <= 0,
+        Rel::Lt => s < 0,
+        Rel::Eq => s == 0,
+        Rel::Ne => s != 0,
+        _ => unreachable!(),
+    }
+}
+
+/// The antecedent boxes every variable into `[-BOUND, BOUND]`, so the
+/// implication is decided exactly by integer enumeration.
+fn boxed_antecedent(atoms: &[(Vec<i64>, i64, Rel)]) -> Pred {
+    let mut conj: Vec<Pred> = atoms.iter().map(|(c, d, r)| linear_pred(c, *d, *r)).collect();
+    for v in IMP_VARS {
+        conj.push(Pred::le(Expr::int(-BOUND), Expr::var(v)));
+        conj.push(Pred::le(Expr::var(v), Expr::int(BOUND)));
+    }
+    Pred::and(conj)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// Under `--certify`, every definite verdict on a boxed linear
+    /// implication must survive its own certificate — an `Invalid`
+    /// answer's countermodel replays to *true* on the negated
+    /// implication (it falsifies `antecedent ⇒ consequent`), a `Valid`
+    /// answer's theory cores all replay unsat — and the verdict itself
+    /// must agree with exhaustive enumeration. A failed certificate
+    /// would surface as an `Unknown` verdict and a nonzero
+    /// `certs_failed` counter; both are asserted impossible here.
+    #[test]
+    fn certified_verdicts_match_brute_force(
+        lhs_atoms in prop::collection::vec(arb_linear_atom(), 1..4),
+        rhs_atom in arb_linear_atom(),
+    ) {
+        let obs = dsolve_obs::Obs::new();
+        let mut smt = SmtSolver::with_config(SolverConfig {
+            certify: true,
+            cache: false,
+            ..SolverConfig::default()
+        });
+        smt.set_obs(obs.clone());
+        let env = imp_env();
+        let lhs = boxed_antecedent(&lhs_atoms);
+        let (rc, rd, rr) = &rhs_atom;
+        let rhs = linear_pred(rc, *rd, *rr);
+
+        // Exhaustive ground truth over the box.
+        let mut expect_valid = true;
+        let r = -BOUND..=BOUND;
+        'outer: for x in r.clone() {
+            for y in r.clone() {
+                for z in r.clone() {
+                    let vals = [x, y, z];
+                    let ante = lhs_atoms
+                        .iter()
+                        .all(|(c, d, rel)| eval_linear(c, *d, *rel, &vals));
+                    if ante && !eval_linear(rc, *rd, *rr, &vals) {
+                        expect_valid = false;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+
+        let verdict = smt.check_valid(&env, &lhs, &rhs);
+        match verdict {
+            Validity::Valid => prop_assert!(
+                expect_valid,
+                "certified Valid on refutable `{lhs} => {rhs}`"
+            ),
+            Validity::Invalid => prop_assert!(
+                !expect_valid,
+                "certified Invalid on valid `{lhs} => {rhs}`"
+            ),
+            Validity::Unknown(e) => prop_assert!(
+                false,
+                "certificate or budget failed on `{lhs} => {rhs}`: {e}"
+            ),
+        }
+        let snap = obs.snapshot(0);
+        prop_assert_eq!(snap.certs_failed, 0, "a certificate failed to replay");
+        prop_assert!(snap.certs_checked >= 1, "no certificate was checked");
     }
 }

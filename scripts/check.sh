@@ -45,6 +45,19 @@ print(f"trace ok: {len(events)} events, {len(spans)} spans")
 EOF
 rm -f "$TRACE_TMP"
 
+# Robustness: every deterministic fault point against the smoke
+# benchmarks (same verdict or a degraded UNKNOWN — never a flip), by
+# name so a failure is unmissable. Also runs above with the workspace.
+echo "== cargo test -p dsolve --test fault_matrix"
+cargo test -p dsolve --test fault_matrix
+
+# Certification smoke: the smoke rows must stay SAFE with every definite
+# SMT verdict replayed through the independent checker.
+echo "== dsolve --certify smoke"
+for b in ralist stablesort subvsolve malloc; do
+    ./target/release/dsolve "benchmarks/$b.ml" --quiet --certify --timeout 60
+done
+
 echo "== cargo build --release -p dsolve-bench --features bench --benches"
 cargo build --release -p dsolve-bench --features bench --benches
 
