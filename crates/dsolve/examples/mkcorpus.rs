@@ -1,0 +1,61 @@
+//! Dumps generated fleet cases with their pinned sequential verdicts —
+//! the helper behind the corpus workflow in `tests/corpus/README.md`.
+//!
+//! ```text
+//! cargo run --release -p dsolve --example mkcorpus -- 42 9 10 15
+//! ```
+//!
+//! writes `fleet-42-{9,10,15}.{ml,mlq,quals,expect}` under
+//! `crates/dsolve/tests/corpus/`.
+
+use dsolve::fleet::{fleet_budget, run_program};
+use dsolve_liquid::SolveConfig;
+use std::path::Path;
+
+fn main() {
+    // Injected faults are not in play here, but generated programs can
+    // still panic isolated workers; keep output readable.
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .expect("usage: mkcorpus <seed> <index>...");
+    let indices: Vec<u64> = args.map(|s| s.parse().expect("index")).collect();
+    assert!(!indices.is_empty(), "usage: mkcorpus <seed> <index>...");
+
+    let dir = Path::new("crates/dsolve/tests/corpus");
+    std::fs::create_dir_all(dir).unwrap();
+    for i in indices {
+        let p = dsolve_nanoml::generate(seed, i);
+        let config = SolveConfig {
+            budget: fleet_budget(),
+            jobs: 1,
+            ..SolveConfig::default()
+        };
+        let v = match run_program(&p.name, &p.source, &p.mlq, &p.quals, config) {
+            Ok(r) => {
+                if r.is_safe() {
+                    "SAFE"
+                } else {
+                    "UNSAFE"
+                }
+            }
+            Err(e) => panic!("{}: {e}", p.name),
+        };
+        let expect = match p.expectation {
+            dsolve_nanoml::Expectation::Safe => "safe".to_string(),
+            dsolve_nanoml::Expectation::Violating { line } => format!("violating:{line}"),
+        };
+        let stem = dir.join(&p.name);
+        std::fs::write(stem.with_extension("ml"), &p.source).unwrap();
+        std::fs::write(stem.with_extension("mlq"), &p.mlq).unwrap();
+        std::fs::write(stem.with_extension("quals"), &p.quals).unwrap();
+        std::fs::write(
+            stem.with_extension("expect"),
+            format!("verdict: {v}\nexpectation: {expect}\n"),
+        )
+        .unwrap();
+        println!("{} -> {v} ({expect})", p.name);
+    }
+}

@@ -22,9 +22,11 @@
 #![warn(missing_docs)]
 
 mod driver;
+pub mod fleet;
 mod report;
 mod spec;
 
 pub use driver::{count_loc, Job, JobError, JobResult};
+pub use fleet::{run_fleet, run_program, FleetOptions, FleetSummary, FleetVerdict, Matrix};
 pub use report::{Row, Status, Table};
 pub use spec::{map_witness, parse_mlq, parse_quals, scrape_qualifiers, RhoDef, SpecError, SpecFile};

@@ -1,0 +1,119 @@
+//! Replays every case in `tests/corpus/` and pins its verdict.
+//!
+//! Each case carries a `.expect` file recording the solver verdict
+//! (sequential, deterministic fleet budget) and the interpreter ground
+//! truth; see `tests/corpus/README.md` for the format and the
+//! add-a-case workflow. Verdicts are pinned at `--jobs 1` *and*
+//! `--jobs 4`, and violation-seeded cases additionally assert the
+//! soundness half outright: they must never verify `SAFE`.
+
+use dsolve::fleet::{fleet_budget, run_program};
+use dsolve_liquid::SolveConfig;
+use dsolve_nanoml::genprog::first_assert_failure;
+use std::path::{Path, PathBuf};
+
+struct Case {
+    name: String,
+    source: String,
+    mlq: String,
+    quals: String,
+    verdict: String,
+    expectation: String,
+}
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn load_cases() -> Vec<Case> {
+    let mut cases = Vec::new();
+    for entry in std::fs::read_dir(corpus_dir()).expect("corpus dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("expect") {
+            continue;
+        }
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .expect("case name")
+            .to_string();
+        let read = |ext: &str| {
+            std::fs::read_to_string(path.with_extension(ext))
+                .unwrap_or_else(|e| panic!("{name}.{ext}: {e}"))
+        };
+        let expect = read("expect");
+        let field = |key: &str| {
+            expect
+                .lines()
+                .find_map(|l| l.strip_prefix(key))
+                .unwrap_or_else(|| panic!("{name}.expect: missing `{key}`"))
+                .trim()
+                .to_string()
+        };
+        cases.push(Case {
+            source: read("ml"),
+            mlq: read("mlq"),
+            quals: read("quals"),
+            verdict: field("verdict:"),
+            expectation: field("expectation:"),
+            name,
+        });
+    }
+    assert!(!cases.is_empty(), "corpus is empty");
+    cases.sort_by(|a, b| a.name.cmp(&b.name));
+    cases
+}
+
+fn solver_verdict(case: &Case, jobs: usize) -> String {
+    let config = SolveConfig {
+        budget: fleet_budget(),
+        jobs,
+        ..SolveConfig::default()
+    };
+    match run_program(&case.name, &case.source, &case.mlq, &case.quals, config) {
+        Ok(res) => {
+            if res.is_safe() {
+                "SAFE".to_string()
+            } else {
+                "UNSAFE".to_string()
+            }
+        }
+        Err(e) => format!("ERROR({e})"),
+    }
+}
+
+#[test]
+fn corpus_ground_truth_matches_recorded_expectation() {
+    for case in load_cases() {
+        let failure = first_assert_failure(&case.source)
+            .unwrap_or_else(|e| panic!("{}: interpreter error: {e}", case.name));
+        let got = match failure {
+            None => "safe".to_string(),
+            Some(line) => format!("violating:{line}"),
+        };
+        assert_eq!(
+            got, case.expectation,
+            "{}: recorded ground truth is stale",
+            case.name
+        );
+    }
+}
+
+#[test]
+fn corpus_verdicts_are_pinned_sequential() {
+    for case in load_cases() {
+        let got = solver_verdict(&case, 1);
+        assert_eq!(got, case.verdict, "{} (--jobs 1)", case.name);
+        if case.expectation.starts_with("violating") {
+            assert_ne!(got, "SAFE", "{}: soundness regression", case.name);
+        }
+    }
+}
+
+#[test]
+fn corpus_verdicts_are_pinned_parallel() {
+    for case in load_cases() {
+        let got = solver_verdict(&case, 4);
+        assert_eq!(got, case.verdict, "{} (--jobs 4)", case.name);
+    }
+}

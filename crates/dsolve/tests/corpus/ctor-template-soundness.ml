@@ -1,0 +1,5 @@
+let zs = [9; 9; 9]
+let rec append xs ys = match xs with | [] -> ys | x :: rest -> x :: append rest ys
+let rec rev xs = match xs with | [] -> [] | x :: rest -> append (rev rest) [x]
+let rec memb x xs = match xs with | [] -> false | y :: ys -> if x = y then true else memb x ys
+let check0 = assert (memb 0 (rev (append [] [1; 1; 0; 1])) = false)

@@ -1,0 +1,6 @@
+let max2 a b = if a < b then b else a
+let min2 a b = if a < b then a else b
+let square x = x * x
+let rec sumto n = if n <= 0 then 0 else n + sumto (n - 1)
+let clamp lo hi x = max2 lo (min2 hi x)
+let check0 = assert (max2 (0 - 4) (min2 (0 - 8) 0) < 0)

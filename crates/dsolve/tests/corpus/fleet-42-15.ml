@@ -1,0 +1,8 @@
+let abs x = if x < 0 then 0 - x else x
+let max2 a b = if a < b then b else a
+let min2 a b = if a < b then a else b
+let double x = x + x
+let square x = x * x
+let rec sumto n = if n <= 0 then 0 else n + sumto (n - 1)
+let clamp lo hi x = max2 lo (min2 hi x)
+let check0 = assert (max2 (max2 (0 - 3) 0) (min2 4 (0 - 6)) <= 0)

@@ -1,0 +1,12 @@
+let max2 a b = if a < b then b else a
+let min2 a b = if a < b then a else b
+let square x = x * x
+let addk x = x + 5
+let rec length xs = match xs with | [] -> 0 | x :: rest -> 1 + length rest
+let rec append xs ys = match xs with | [] -> ys | x :: rest -> x :: append rest ys
+let rec mapinc xs = match xs with | [] -> [] | x :: rest -> (x + 1) :: mapinc rest
+let rec insert x vs = match vs with | [] -> [x] | y :: ys -> if x < y then x :: y :: ys else y :: insert x ys
+let rec insertsort xs = match xs with | [] -> [] | x :: rest -> insert x (insertsort rest)
+let rec maxl xs d = match xs with | [] -> d | x :: rest -> max2 x (maxl rest d)
+let rec memb x xs = match xs with | [] -> false | y :: ys -> if x = y then true else memb x ys
+let check0 = assert (memb 5 (mapinc []) = true)

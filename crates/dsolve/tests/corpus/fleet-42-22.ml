@@ -1,0 +1,7 @@
+let min2 a b = if a < b then a else b
+let square x = x * x
+let addk x = x + (0 - 4)
+let check0 = assert (addk (min2 1 (0 - 4)) <= (0 - 7))
+let check1 = assert (square (addk 4) < 2)
+let check2 = assert (min2 (addk 2) (0 - 6) = (0 - 3))
+let check3 = assert (square (min2 (0 - 2) 3) = 4)

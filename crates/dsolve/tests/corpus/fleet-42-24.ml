@@ -1,0 +1,11 @@
+type 'a tr = Lf | Nd of 'a * 'a tr * 'a tr
+let abs x = if x < 0 then 0 - x else x
+let max2 a b = if a < b then b else a
+let addk x = x + (0 - 1)
+let rec tinsert x t = match t with | Lf -> Nd (x, Lf, Lf) | Nd (y, l, r) -> if x < y then Nd (y, tinsert x l, r) else Nd (y, l, tinsert x r)
+let rec build xs = match xs with | [] -> Lf | y :: rest -> tinsert y (build rest)
+let rec tsize t = match t with | Lf -> 0 | Nd (y, l, r) -> 1 + tsize l + tsize r
+let rec tsum t = match t with | Lf -> 0 | Nd (y, l, r) -> y + tsum l + tsum r
+let rec tmemb x t = match t with | Lf -> false | Nd (y, l, r) -> if x = y then true else if x < y then tmemb x l else tmemb x r
+let rec theight t = match t with | Lf -> 0 | Nd (y, l, r) -> 1 + max2 (theight l) (theight r)
+let check0 = assert (tmemb (0 - 6) (build [9]))

@@ -1,0 +1,14 @@
+let max2 a b = if a < b then b else a
+let min2 a b = if a < b then a else b
+let double x = x + x
+let square x = x * x
+let clamp lo hi x = max2 lo (min2 hi x)
+let rec length xs = match xs with | [] -> 0 | x :: rest -> 1 + length rest
+let rec sum xs = match xs with | [] -> 0 | x :: rest -> x + sum rest
+let rec append xs ys = match xs with | [] -> ys | x :: rest -> x :: append rest ys
+let rec mapinc xs = match xs with | [] -> [] | x :: rest -> (x + 1) :: mapinc rest
+let rec insert x vs = match vs with | [] -> [x] | y :: ys -> if x < y then x :: y :: ys else y :: insert x ys
+let rec memb x xs = match xs with | [] -> false | y :: ys -> if x = y then true else memb x ys
+let check0 = assert (length [(0 - 8); 2; (0 - 8); 9; 7] >= 4)
+let check1 = assert (length (append (mapinc [2; 0; 3]) (insert 4 [1])) <= 6)
+let check2 = assert (length (insert (0 - 6) []) >= (0 - 1))

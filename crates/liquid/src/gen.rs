@@ -510,9 +510,16 @@ impl<'g> Gen<'g> {
                 dead.set(c2, j, Refinement::pred(Pred::False));
             }
         }
+        // The outer refinement is exactly the measure facts: the
+        // template's fresh κ would otherwise assert the full qualifier
+        // set with no constraint grounding it from below (constructions
+        // only ever appear on the *left* of subtyping), which is unsound
+        // — any ungrounded instance, e.g. `llen(ν) = llen(zs)` for some
+        // in-scope `zs`, would flow downstream as an assumed fact.
         let result = match tmpl {
             RType::Data(dd) => RType::Data(crate::rtype::DataRType {
                 rho: dd.rho.compose(&dead),
+                refinement: Refinement::top(),
                 ..dd
             }),
             other => other,

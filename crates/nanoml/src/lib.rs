@@ -40,6 +40,7 @@
 
 pub mod ast;
 mod eval;
+pub mod genprog;
 mod infer;
 mod parser;
 mod resolve;
@@ -49,6 +50,9 @@ mod types;
 
 pub use ast::{Arm, CtorDecl, DataDecl, Expr, Pattern, PrimOp, Program, TopBind, TopLet, TypeExpr};
 pub use eval::{builtin_env, Env, EvalError, Evaluator, Native, Value};
+pub use genprog::{
+    first_assert_failure, generate, generate_fleet, Expectation, FleetRng, GenProgram, Shape,
+};
 pub use infer::{infer_expr, infer_program, match_instantiation, TypeEnv, TypeError};
 pub use parser::{parse_expr_str, parse_program, parse_type_str, ParseError};
 pub use resolve::{resolve_expr, resolve_program, ResolveError};

@@ -35,6 +35,18 @@ for a in "$@"; do
     *) BUDGET="$a" ;;
   esac
 done
+if [ "$expect_jobs" = 1 ]; then
+  echo "run_figure10.sh: --jobs needs a value" >&2
+  exit 3
+fi
+case "$JOBS" in
+  "" | *[!0-9]*)
+    if [ -n "$JOBS" ]; then
+      echo "run_figure10.sh: --jobs expects a number, got '$JOBS'" >&2
+      exit 3
+    fi
+    ;;
+esac
 JOBS_FLAG=()
 [ -n "$JOBS" ] && JOBS_FLAG=(--jobs "$JOBS")
 
@@ -70,7 +82,7 @@ cargo build --release -p dsolve >/dev/null 2>&1 || {
   exit 3
 }
 
-echo "Fig. 10 reproduction (per-row budget: ${BUDGET}s; paper numbers in brackets)"
+echo "Fig. 10 reproduction (per-row budget: ${BUDGET}s; jobs: ${JOBS:-per-CPU}; paper numbers in brackets)"
 printf '%-12s %-22s %s\n' "Program" "Property" "Result"
 FAIL=0
 for row in "${ROWS[@]}"; do

@@ -5,6 +5,12 @@
 set -e
 cd "$(dirname "$0")/.."
 
+# One jobs setting for every dsolve invocation below, so the smoke suite
+# actually exercises the parallel fixpoint on multi-core hosts (and a
+# single knob pins it: JOBS=1 ./scripts/check.sh for a sequential run).
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 1)}"
+echo "== jobs: $JOBS"
+
 echo "== cargo build --release --workspace"
 cargo build --release --workspace
 
@@ -55,8 +61,17 @@ cargo test -p dsolve --test fault_matrix
 # SMT verdict replayed through the independent checker.
 echo "== dsolve --certify smoke"
 for b in ralist stablesort subvsolve malloc; do
-    ./target/release/dsolve "benchmarks/$b.ml" --quiet --certify --timeout 60
+    ./target/release/dsolve "benchmarks/$b.ml" --quiet --certify --timeout 60 --jobs "$JOBS"
 done
+
+# Differential fleet smoke: a fixed seed, ≥50 generated programs, the
+# full config matrix (workers × incremental × cache × certify × every
+# fault point). Zero soundness disagreements and zero verdict flips or
+# the script fails. Verdicts are budget-deterministic (no wall clock),
+# so this run's digest is reproducible anywhere.
+# (A deeper soak is gated behind: cargo test -p dsolve --features slow-proptest)
+echo "== dsolve-fleet --seed 42 --count 50 --matrix full"
+./target/release/dsolve-fleet --seed 42 --count 50 --matrix full
 
 echo "== cargo build --release -p dsolve-bench --features bench --benches"
 cargo build --release -p dsolve-bench --features bench --benches
@@ -64,7 +79,7 @@ cargo build --release -p dsolve-bench --features bench --benches
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== ./run_figure10.sh --smoke"
-./run_figure10.sh --smoke
+echo "== ./run_figure10.sh --smoke --jobs $JOBS"
+./run_figure10.sh --smoke --jobs "$JOBS"
 
 echo "check.sh: all green"
